@@ -1,0 +1,94 @@
+"""Design space exploration: the width/size trade-off claim of the paper.
+
+Sections I and VI claim that the flows "explore tradeoffs between the number
+of lines and the depth of the circuit that cannot be probed using the
+handcrafted approaches": one single design (INTDIV(n)) yields circuits
+ranging from line-optimal/high-T to line-hungry/low-T depending on the flow
+and its parameters.  This bench runs the whole configuration sweep, prints
+the resulting design-space table and checks that the Pareto front contains
+more than one point (i.e. there is a genuine trade-off, not a single winner).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import large_benchmarks_enabled, write_result
+from repro.core.explorer import DesignSpaceExplorer, FlowConfiguration
+from repro.utils.tables import format_table
+
+BITWIDTH = 8 if large_benchmarks_enabled() else 6
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    explorer = DesignSpaceExplorer(
+        "intdiv",
+        BITWIDTH,
+        configurations=[
+            FlowConfiguration("symbolic"),
+            FlowConfiguration("esop", (("p", 0),)),
+            FlowConfiguration("esop", (("p", 1),)),
+            FlowConfiguration("hierarchical", (("strategy", "bennett"),)),
+            FlowConfiguration("hierarchical", (("strategy", "per_output"),)),
+        ],
+        verify=False,
+    )
+    explorer.explore()
+    return explorer
+
+
+def test_design_space_report(benchmark, explorer):
+    rows = explorer.summary_rows()
+    text = benchmark.pedantic(
+        format_table,
+        args=(["configuration", "qubits", "T-count", "runtime [s]"], rows),
+        kwargs={"title": f"Design space of INTDIV({BITWIDTH})"},
+        rounds=1,
+        iterations=1,
+    )
+    front = explorer.pareto_front()
+    front_text = format_table(
+        ["Pareto point", "qubits", "T-count"],
+        [(p.configuration, p.qubits, p.t_count) for p in front],
+        title="Pareto front (qubits vs T-count)",
+    )
+    write_result("design_space", text + "\n\n" + front_text)
+
+
+def test_pareto_front_is_a_real_tradeoff(explorer):
+    front = explorer.pareto_front()
+    assert len(front) >= 2  # no single configuration dominates
+    qubit_ordered = sorted(front, key=lambda p: p.qubits)
+    t_ordered = sorted(front, key=lambda p: p.t_count)
+    assert qubit_ordered[0].configuration != t_ordered[0].configuration
+
+
+def test_extreme_points(explorer):
+    best_qubits = explorer.best_by_qubits()
+    best_t = explorer.best_by_t_count()
+    # The line-optimal corner always belongs to the functional flow; the
+    # T-optimal corner belongs to one of the structural flows (which one
+    # depends on the bit-width — the hierarchical flow overtakes the ESOP
+    # flow for larger n, cf. Tables III/IV).
+    assert best_qubits.flow == "symbolic"
+    assert best_t.flow in ("esop", "hierarchical")
+    assert best_t.flow != "symbolic"
+
+
+def test_explorer_benchmark(benchmark):
+    def run():
+        explorer = DesignSpaceExplorer(
+            "intdiv",
+            5,
+            configurations=[
+                FlowConfiguration("esop", (("p", 0),)),
+                FlowConfiguration("hierarchical", (("strategy", "bennett"),)),
+            ],
+            verify=False,
+        )
+        explorer.explore()
+        return explorer.pareto_front()
+
+    front = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert front

@@ -1,0 +1,40 @@
+"""Figure 1: the design-flow graph.
+
+The figure in the paper is a diagram; this bench renders the textual version
+of the graph and exercises every edge once (Verilog -> AIG -> {BDD, ESOP,
+XMG} -> reversible circuit) on a small instance, timing one full pass per
+flow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import verification_enabled, write_result
+from repro.core.flows import run_flow
+from repro.core.reports import flow_graph_description
+
+BITWIDTH = 4
+
+
+def test_fig1_flow_graph_rendering(benchmark):
+    """The flow graph mentions every representation and tool analogue."""
+    text = benchmark.pedantic(flow_graph_description, rounds=1, iterations=1)
+    for keyword in ("Verilog", "AIG", "BDD", "ESOP", "XMG", "Clifford+T"):
+        assert keyword in text
+    write_result("fig1_flow_graph", text)
+
+
+@pytest.mark.parametrize("flow_name", ["symbolic", "esop", "hierarchical"])
+def test_fig1_flow_edges(benchmark, flow_name):
+    """Time one end-to-end pass through each flow of Fig. 1."""
+    result = benchmark.pedantic(
+        run_flow,
+        args=(flow_name, "intdiv", BITWIDTH),
+        kwargs={"verify": verification_enabled()},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["qubits"] = result.report.qubits
+    benchmark.extra_info["t_count"] = result.report.t_count
+    assert result.report.qubits > 0

@@ -1,0 +1,133 @@
+"""Table III: results with ESOP-based (REVS) synthesis, p = 0 and p = 1.
+
+Paper columns: for INTDIV(n) and NEWTON(n), n = 5..25 — qubits, T-count and
+runtime for the unfactored (p = 0) and factored (p = 1) modes.
+
+Checks (the paper's observations):
+
+* p = 0 uses exactly 2n qubits and gates with at most n controls,
+* the T-count is orders of magnitude below the functional flow's,
+* p = 1 uses additional lines and (for the larger n) fewer T gates,
+* runtimes stay moderate, i.e. the flow scales further than the functional
+  one.
+
+Default sweep: n = 5..9 (set ``REPRO_BENCH_LARGE=1`` for n up to 12).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import large_benchmarks_enabled, verification_enabled, write_result
+from repro.core.flows import run_flow
+from repro.core.reports import side_by_side_table
+
+PAPER_TABLE3_P0 = {
+    # n: (intdiv_qubits, intdiv_t, newton_qubits, newton_t)
+    5: (10, 232, 10, 135),
+    6: (12, 423, 12, 294),
+    7: (14, 791, 14, 568),
+    8: (16, 1342, 16, 1039),
+    9: (18, 2056, 18, 1894),
+    10: (20, 3415, 20, 3311),
+    11: (22, 5631, 22, 5303),
+    12: (24, 8431, 24, 8423),
+}
+
+
+def _bitwidths():
+    widths = [5, 6, 7, 8, 9]
+    if large_benchmarks_enabled():
+        widths += [10, 11, 12]
+    return widths
+
+
+@pytest.fixture(scope="module")
+def table3_reports():
+    groups = {}
+    for p in (0, 1):
+        for design, label in (("intdiv", "INTDIV"), ("newton", "NEWTON")):
+            key = f"{label} p={p}"
+            groups[key] = []
+            for n in _bitwidths():
+                result = run_flow(
+                    "esop",
+                    design,
+                    n,
+                    p=p,
+                    verify=verification_enabled() and n <= 8,
+                )
+                groups[key].append(result.report)
+    return groups
+
+
+def test_table3_report(benchmark, table3_reports):
+    text = benchmark.pedantic(
+        side_by_side_table,
+        args=(table3_reports,),
+        kwargs={"title": "Table III - ESOP-based synthesis (REVS)"},
+        rounds=1,
+        iterations=1,
+    )
+    write_result("table3_esop", text)
+    assert "INTDIV p=0 qubits" in text
+
+
+def test_table3_p0_uses_2n_qubits(table3_reports):
+    for label in ("INTDIV p=0", "NEWTON p=0"):
+        for report in table3_reports[label]:
+            assert report.qubits == 2 * report.bitwidth
+            assert report.max_controls <= report.bitwidth
+
+
+def test_table3_p1_trades_qubits_for_t(table3_reports):
+    """p = 1 never uses fewer lines, and is never much worse on T-count."""
+    for design in ("INTDIV", "NEWTON"):
+        base = {r.bitwidth: r for r in table3_reports[f"{design} p=0"]}
+        factored = {r.bitwidth: r for r in table3_reports[f"{design} p=1"]}
+        wins = 0
+        for n, report in factored.items():
+            assert report.qubits >= base[n].qubits
+            assert report.t_count <= base[n].t_count * 1.15
+            if report.t_count < base[n].t_count:
+                wins += 1
+        assert wins >= 1  # factoring pays off for at least some bit-width
+
+
+def test_table3_much_cheaper_than_symbolic(table3_reports):
+    """The key Table II vs Table III comparison of the paper."""
+    symbolic = run_flow("symbolic", "intdiv", 6, verify=False).report
+    esop = next(
+        r for r in table3_reports["INTDIV p=0"] if r.bitwidth == 6
+    )
+    assert esop.t_count * 3 < symbolic.t_count
+    assert esop.qubits == symbolic.qubits + 1  # 2n vs 2n - 1
+
+
+def test_table3_magnitude_vs_paper(table3_reports):
+    for report in table3_reports["INTDIV p=0"]:
+        paper = PAPER_TABLE3_P0.get(report.bitwidth)
+        if paper is None:
+            continue
+        assert report.qubits == paper[0]
+        assert 0.05 < report.t_count / paper[1] < 20
+    for report in table3_reports["NEWTON p=0"]:
+        paper = PAPER_TABLE3_P0.get(report.bitwidth)
+        if paper is None:
+            continue
+        assert report.qubits == paper[2]
+        assert 0.05 < report.t_count / paper[3] < 20
+
+
+@pytest.mark.parametrize("p", [0, 1])
+def test_table3_flow_benchmark(benchmark, p):
+    n = 7
+    result = benchmark.pedantic(
+        run_flow,
+        args=("esop", "intdiv", n),
+        kwargs={"p": p, "verify": False},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["qubits"] = result.report.qubits
+    benchmark.extra_info["t_count"] = result.report.t_count

@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section.  Because the interesting output is the paper-style table (and not
+only the wall-clock statistics collected by pytest-benchmark), each bench
+writes its table to ``benchmarks/results/<name>.txt`` and echoes it to
+stdout; run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+tables inline.
+
+Environment knobs:
+
+* ``REPRO_BENCH_LARGE=1``  — also run the larger bit-widths (closer to the
+  paper's ranges; substantially slower in pure Python),
+* ``REPRO_BENCH_VERIFY=1`` — verify every synthesised circuit against the
+  bit-blasted design during the benchmarks (slower).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def large_benchmarks_enabled() -> bool:
+    """Whether the larger (paper-scale) bit-widths should also run."""
+    return os.environ.get("REPRO_BENCH_LARGE", "0") == "1"
+
+
+def verification_enabled() -> bool:
+    """Whether benchmark runs should also verify the circuits."""
+    return os.environ.get("REPRO_BENCH_VERIFY", "0") == "1"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a paper-style table under ``benchmarks/results`` and print it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}] written to {path}\n{text}")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+The project is configured through ``pyproject.toml``; this file only exists
+so that legacy ``pip install -e .`` / ``python setup.py develop`` work in
+environments whose setuptools predates PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""repro — reproduction of *Design Automation and Design Space Exploration
+for Quantum Computers* (Soeken, Roetteler, Wiebe, De Micheli, DATE 2017).
+
+The package is organised in layers that mirror Fig. 1 of the paper:
+
+``repro.hdl``
+    Verilog subset front-end (design level).  Parses the ``INTDIV(n)`` and
+    ``NEWTON(n)`` reciprocal designs (or any design written in the supported
+    subset) and bit-blasts them into and-inverter graphs.
+
+``repro.logic``
+    Classical logic synthesis substrate (logic synthesis level): AIGs, BDDs,
+    ESOP covers, XOR-majority graphs, optimisation scripts and equivalence
+    checking.
+
+``repro.reversible``
+    Reversible circuits and the three synthesis back-ends of the paper
+    (symbolic functional, ESOP-based, hierarchical).
+
+``repro.quantum``
+    Quantum level: Clifford+T mapping of multiple-controlled Toffoli gates
+    and T-count cost models.
+
+``repro.arith`` / ``repro.baselines``
+    Reversible arithmetic building blocks (Cuccaro adders, restoring
+    division, ...) and the hand-crafted ``RESDIV``/``QNEWTON`` baselines of
+    Table I.
+
+``repro.core``
+    The paper's contribution: end-to-end design flows and design space
+    exploration across them.
+
+Quickstart
+----------
+
+>>> from repro import run_flow
+>>> result = run_flow("esop", "intdiv", 5, p=0)
+>>> result.report.qubits
+10
+"""
+
+from repro.core.cost import CostReport
+from repro.core.explorer import DesignSpaceExplorer, FlowConfiguration, ParetoPoint
+from repro.core.flows import (
+    available_flows,
+    esop_flow,
+    hierarchical_flow,
+    run_flow,
+    symbolic_flow,
+)
+from repro.hdl.designs import intdiv_verilog, newton_verilog
+from repro.hdl.synthesize import synthesize_verilog
+
+__all__ = [
+    "CostReport",
+    "DesignSpaceExplorer",
+    "FlowConfiguration",
+    "ParetoPoint",
+    "available_flows",
+    "esop_flow",
+    "hierarchical_flow",
+    "intdiv_verilog",
+    "newton_verilog",
+    "run_flow",
+    "symbolic_flow",
+    "synthesize_verilog",
+]
+
+__version__ = "0.1.0"

@@ -1,0 +1,29 @@
+"""Reversible arithmetic building blocks.
+
+These are the components the hand-crafted baselines of Table I are made of:
+the Cuccaro ripple-carry adder [25], in-place subtraction, controlled
+addition, an out-of-place textbook multiplier and the restoring divider
+behind ``RESDIV``.  All constructions emit real gate cascades into a
+:class:`repro.reversible.circuit.ReversibleCircuit`, so their qubit and
+T-counts are measured rather than estimated.
+"""
+
+from repro.arith.adders import (
+    controlled_add,
+    cuccaro_add,
+    cuccaro_subtract,
+)
+from repro.arith.divider import build_restoring_divider
+from repro.arith.fixed_point import FixedPointFormat, from_fixed, to_fixed
+from repro.arith.multiplier import build_multiplier
+
+__all__ = [
+    "FixedPointFormat",
+    "build_multiplier",
+    "build_restoring_divider",
+    "controlled_add",
+    "cuccaro_add",
+    "cuccaro_subtract",
+    "from_fixed",
+    "to_fixed",
+]

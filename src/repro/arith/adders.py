@@ -1,0 +1,123 @@
+"""Reversible in-place adders (Cuccaro et al. [25]) and derived operations.
+
+The central primitive is :func:`cuccaro_add`, the ripple-carry adder built
+from MAJ/UMA blocks: it maps ``(a, b) -> (a, a + b)`` using a single ancilla
+for the incoming carry (restored to its initial value) and an optional
+carry-out line.  Subtraction and controlled addition are derived from it:
+
+* ``b := b - a`` by conjugating the target register with X gates,
+* controlled addition by masking the addend into scratch lines with Toffoli
+  gates (``mask := a AND control``), adding the mask and uncomputing it.
+  This needs ``len(a)`` scratch lines but keeps the adder itself untouched,
+  which is the simplest provably-correct controlled adder; the extra lines
+  are reused by every invocation inside the dividers/multipliers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.reversible.circuit import ReversibleCircuit
+from repro.reversible.gates import ToffoliGate
+
+__all__ = ["cuccaro_add", "cuccaro_subtract", "controlled_add"]
+
+
+def _check_lines(circuit: ReversibleCircuit, lines: Sequence[int]) -> None:
+    for line in lines:
+        if not 0 <= line < circuit.num_lines():
+            raise ValueError(f"line {line} does not exist in the circuit")
+    if len(set(lines)) != len(lines):
+        raise ValueError("register lines must be distinct")
+
+
+def _maj(circuit: ReversibleCircuit, carry: int, b: int, a: int) -> None:
+    circuit.append(ToffoliGate.cnot(a, b))
+    circuit.append(ToffoliGate.cnot(a, carry))
+    circuit.append(ToffoliGate.toffoli(carry, b, a))
+
+
+def _uma(circuit: ReversibleCircuit, carry: int, b: int, a: int) -> None:
+    circuit.append(ToffoliGate.toffoli(carry, b, a))
+    circuit.append(ToffoliGate.cnot(a, carry))
+    circuit.append(ToffoliGate.cnot(carry, b))
+
+
+def cuccaro_add(
+    circuit: ReversibleCircuit,
+    addend: Sequence[int],
+    target: Sequence[int],
+    carry_ancilla: int,
+    carry_out: Optional[int] = None,
+) -> None:
+    """In-place ripple-carry addition ``target := target + addend``.
+
+    ``addend`` and ``target`` are equal-length line lists (least significant
+    bit first).  ``carry_ancilla`` must hold 0 and is restored.  If
+    ``carry_out`` is given, that line is XORed with the carry out of the
+    most significant position.
+    """
+    if len(addend) != len(target):
+        raise ValueError("addend and target must have the same width")
+    if not addend:
+        return
+    all_lines = list(addend) + list(target) + [carry_ancilla]
+    if carry_out is not None:
+        all_lines.append(carry_out)
+    _check_lines(circuit, all_lines)
+
+    width = len(addend)
+    carries = [carry_ancilla] + [addend[i - 1] for i in range(1, width)]
+
+    for i in range(width):
+        _maj(circuit, carries[i], target[i], addend[i])
+    if carry_out is not None:
+        circuit.append(ToffoliGate.cnot(addend[width - 1], carry_out))
+    for i in reversed(range(width)):
+        _uma(circuit, carries[i], target[i], addend[i])
+
+
+def cuccaro_subtract(
+    circuit: ReversibleCircuit,
+    subtrahend: Sequence[int],
+    target: Sequence[int],
+    carry_ancilla: int,
+    borrow_out: Optional[int] = None,
+) -> None:
+    """In-place subtraction ``target := target - subtrahend`` (mod ``2**w``).
+
+    Implemented as ``target := ~(~target + subtrahend)``; if ``borrow_out``
+    is given it is XORed with 1 exactly when ``target < subtrahend`` held
+    before the operation (i.e. it receives the borrow).
+    """
+    for line in target:
+        circuit.append(ToffoliGate.x(line))
+    cuccaro_add(circuit, subtrahend, target, carry_ancilla, carry_out=borrow_out)
+    for line in target:
+        circuit.append(ToffoliGate.x(line))
+
+
+def controlled_add(
+    circuit: ReversibleCircuit,
+    control: int,
+    addend: Sequence[int],
+    target: Sequence[int],
+    mask: Sequence[int],
+    carry_ancilla: int,
+    carry_out: Optional[int] = None,
+) -> None:
+    """Controlled in-place addition ``target := target + (control ? addend : 0)``.
+
+    ``mask`` is a list of ``len(addend)`` scratch lines holding 0; they are
+    used to hold ``addend AND control`` during the addition and are restored
+    afterwards.
+    """
+    if len(mask) != len(addend):
+        raise ValueError("mask register must have the same width as the addend")
+    _check_lines(circuit, list(mask) + [control])
+
+    for source, scratch in zip(addend, mask):
+        circuit.append(ToffoliGate.toffoli(control, source, scratch))
+    cuccaro_add(circuit, mask, target, carry_ancilla, carry_out=carry_out)
+    for source, scratch in zip(addend, mask):
+        circuit.append(ToffoliGate.toffoli(control, source, scratch))

@@ -1,0 +1,90 @@
+"""Reversible restoring division (the ``RESDIV`` baseline of Table I).
+
+The construction follows the classical restoring algorithm operating on a
+``2n``-bit combined register (high half: running remainder, low half:
+dividend).  For every quotient bit, the divisor is subtracted from an
+``(n+1)``-bit window of the combined register; if the subtraction borrows,
+the low ``n`` bits of the window are restored by a controlled addition and
+the window's top bit — which is not part of any later window — records the
+(complemented) borrow, i.e. the quotient bit after a final NOT.
+
+Register layout (``3n`` data lines as in the baseline of the paper, plus
+``n + 1`` scratch lines for the masked controlled adder and the ripple
+carry — a documented overhead of this reproduction):
+
+* ``d[0 .. 2n-1]`` — dividend (low half) / remainder+quotient (after),
+* ``b[0 .. n-1]``  — divisor (preserved),
+* ``mask[0 .. n-1]``, ``carry`` — scratch, restored to zero.
+
+After the cascade, ``d[n .. 2n-1]`` holds the quotient bits interleaved out
+of the iteration order (bit ``n + i`` is quotient bit ``i``) and
+``d[0 .. n-1]`` holds the remainder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.arith.adders import controlled_add, cuccaro_subtract
+from repro.reversible.circuit import ReversibleCircuit
+from repro.reversible.gates import ToffoliGate
+
+__all__ = ["build_restoring_divider", "divider_reference"]
+
+
+def divider_reference(width: int, dividend: int, divisor: int) -> Tuple[int, int]:
+    """Reference semantics of the restoring divider.
+
+    Returns ``(quotient, remainder)``; division by zero yields the all-ones
+    quotient and the dividend as remainder, matching both the bit-blasted
+    divider of the HDL front-end and the reversible construction.
+    """
+    mask = (1 << width) - 1
+    dividend &= mask
+    divisor &= mask
+    if divisor == 0:
+        return mask, dividend
+    return dividend // divisor, dividend % divisor
+
+
+def build_restoring_divider(width: int, name: str = "resdiv") -> ReversibleCircuit:
+    """Build the reversible restoring divider for ``width``-bit operands.
+
+    Inputs: dividend bits 0..width-1, divisor bits width..2*width-1.
+    Outputs: quotient bits 0..width-1, remainder bits width..2*width-1.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    circuit = ReversibleCircuit(name)
+
+    # Combined register: low half dividend, high half zero (remainder).
+    d: List[int] = []
+    for i in range(width):
+        d.append(circuit.add_input_line(i, f"a{i}"))
+    for i in range(width):
+        d.append(circuit.add_constant_line(0, f"r{i}"))
+
+    divisor = [
+        circuit.add_input_line(width + i, f"b{i}") for i in range(width)
+    ]
+    mask = [circuit.add_constant_line(0, f"m{i}") for i in range(width)]
+    carry = circuit.add_constant_line(0, "carry")
+
+    for i in reversed(range(width)):
+        window = d[i : i + width + 1]
+        low = window[:-1]
+        top = window[-1]
+        # window := window - divisor (with the borrow landing on the top bit).
+        cuccaro_subtract(circuit, divisor, low, carry, borrow_out=top)
+        # Restore the low part when the subtraction borrowed.
+        controlled_add(circuit, top, divisor, low, mask, carry)
+        # The top bit becomes the quotient bit (complement of the borrow).
+        circuit.append(ToffoliGate.x(top))
+
+    # Boundary roles: quotient bit i ends up on line d[width + i] (the top
+    # bit of window i); the remainder occupies d[0..width-1].
+    for i in range(width):
+        circuit.set_output(d[width + i], i)
+    for i in range(width):
+        circuit.set_output(d[i], width + i)
+    return circuit

@@ -1,0 +1,76 @@
+"""Fixed-point number helpers (the ``Q3.w`` format of Section III).
+
+These utilities convert between Python floats/ints and the fixed-point bit
+patterns used by the NEWTON design and the QNEWTON baseline, and model the
+truncating multiplication ``u *_w v`` of the paper.  They are used by the
+tests (to cross-check the Verilog NEWTON datapath) and by the QNEWTON
+resource model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FixedPointFormat", "to_fixed", "from_fixed", "truncated_multiply"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A ``Qi.f`` fixed-point format with ``integer_bits`` + ``fraction_bits``."""
+
+    integer_bits: int
+    fraction_bits: int
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 0 or self.fraction_bits < 0:
+            raise ValueError("bit counts must be non-negative")
+        if self.total_bits() == 0:
+            raise ValueError("format must have at least one bit")
+
+    def total_bits(self) -> int:
+        """Total width of the format."""
+        return self.integer_bits + self.fraction_bits
+
+    def scale(self) -> int:
+        """The scaling factor ``2**fraction_bits``."""
+        return 1 << self.fraction_bits
+
+    def max_value(self) -> float:
+        """Largest representable value (unsigned interpretation)."""
+        return ((1 << self.total_bits()) - 1) / self.scale()
+
+
+def to_fixed(value: float, fmt: FixedPointFormat) -> int:
+    """Encode a non-negative real value (truncating towards zero)."""
+    if value < 0:
+        raise ValueError("only non-negative values are supported")
+    encoded = int(value * fmt.scale())
+    if encoded >> fmt.total_bits():
+        raise ValueError(f"value {value} does not fit in {fmt}")
+    return encoded
+
+
+def from_fixed(encoded: int, fmt: FixedPointFormat) -> float:
+    """Decode a fixed-point bit pattern to a float."""
+    if encoded < 0 or encoded >> fmt.total_bits():
+        raise ValueError("bit pattern out of range for the format")
+    return encoded / fmt.scale()
+
+
+def truncated_multiply(
+    u: int, u_fmt: FixedPointFormat, v: int, v_fmt: FixedPointFormat, out_fmt: FixedPointFormat
+) -> int:
+    """The paper's ``u *_w v``: full product, then truncation to ``out_fmt``.
+
+    The full product has ``u_fmt.fraction_bits + v_fmt.fraction_bits``
+    fraction bits; the least significant fraction bits are dropped and the
+    result is reduced modulo the output width (dropping the most significant
+    integer bits, as the paper's operator does).
+    """
+    product = u * v
+    shift = u_fmt.fraction_bits + v_fmt.fraction_bits - out_fmt.fraction_bits
+    if shift < 0:
+        product <<= -shift
+    else:
+        product >>= shift
+    return product & ((1 << out_fmt.total_bits()) - 1)

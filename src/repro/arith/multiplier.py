@@ -1,0 +1,79 @@
+"""Out-of-place reversible textbook multiplier.
+
+Computes ``product := a * b`` (``2n`` result bits) for two ``n``-bit
+registers with the shift-and-add scheme: for every bit ``a_i`` the addend
+``b`` is added into the product window starting at bit ``i``, controlled on
+``a_i``.  The controlled additions use the masked-adder of
+:mod:`repro.arith.adders`, so the construction needs ``n`` scratch lines and
+one carry ancilla, all of which are restored.
+
+This is the "textbook multiplication" building block of the ``QNEWTON``
+baseline (Section V of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.arith.adders import controlled_add
+from repro.reversible.circuit import ReversibleCircuit
+from repro.reversible.gates import ToffoliGate
+
+__all__ = ["multiply_into", "build_multiplier"]
+
+
+def multiply_into(
+    circuit: ReversibleCircuit,
+    a: Sequence[int],
+    b: Sequence[int],
+    product: Sequence[int],
+    mask: Sequence[int],
+    carry_ancilla: int,
+) -> None:
+    """Append gates computing ``product ^= a * b`` (product initially 0).
+
+    ``product`` must provide ``len(a) + len(b)`` lines, ``mask`` at least
+    ``len(b)`` zero-initialised scratch lines.
+    """
+    if len(product) < len(a) + len(b):
+        raise ValueError("product register is too narrow")
+    if len(mask) < len(b):
+        raise ValueError("mask register is too narrow")
+
+    width_b = len(b)
+    for i, control in enumerate(a):
+        window = list(product[i : i + width_b + 1])
+        target = window[:-1] if len(window) > width_b else window
+        carry_out = window[-1] if len(window) > width_b else None
+        controlled_add(
+            circuit,
+            control,
+            list(b),
+            target,
+            list(mask[:width_b]),
+            carry_ancilla,
+            carry_out=carry_out,
+        )
+
+
+def build_multiplier(width: int, name: str = "multiplier") -> ReversibleCircuit:
+    """A complete ``width x width -> 2*width`` multiplier circuit.
+
+    Line layout: ``a`` (inputs 0..width-1), ``b`` (inputs width..2*width-1),
+    product (outputs, 2*width lines), mask scratch (width lines), one carry
+    ancilla.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    circuit = ReversibleCircuit(name)
+    a = [circuit.add_input_line(i, f"a{i}") for i in range(width)]
+    b = [circuit.add_input_line(width + i, f"b{i}") for i in range(width)]
+    product = []
+    for j in range(2 * width):
+        line = circuit.add_constant_line(0, f"p{j}")
+        circuit.set_output(line, j)
+        product.append(line)
+    mask = [circuit.add_constant_line(0, f"m{j}") for j in range(width)]
+    carry = circuit.add_constant_line(0, "carry")
+    multiply_into(circuit, a, b, product, mask, carry)
+    return circuit

@@ -1,0 +1,12 @@
+"""Hand-crafted baseline designs of Table I: ``RESDIV`` and ``QNEWTON``."""
+
+from repro.baselines.resdiv import build_resdiv_reciprocal, resdiv_resources
+from repro.baselines.qnewton import qnewton_resources
+from repro.baselines.common import BaselineCost
+
+__all__ = [
+    "BaselineCost",
+    "build_resdiv_reciprocal",
+    "qnewton_resources",
+    "resdiv_resources",
+]

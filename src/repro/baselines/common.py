@@ -1,0 +1,28 @@
+"""Shared result type for the baseline designs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["BaselineCost"]
+
+
+@dataclass(frozen=True)
+class BaselineCost:
+    """Qubit and T-count figures of a baseline design.
+
+    ``details`` holds a per-component breakdown (e.g. multiplier /
+    normalisation / adders for QNEWTON) so that the benchmark output can be
+    inspected.
+    """
+
+    name: str
+    bitwidth: int
+    qubits: int
+    t_count: int
+    details: Dict[str, int] = field(default_factory=dict)
+
+    def as_row(self):
+        """Row used by the Table I benchmark printer."""
+        return (self.bitwidth, self.qubits, self.t_count)

@@ -1,0 +1,173 @@
+"""Command-line interface: run the paper's flows from a shell.
+
+Examples::
+
+    python -m repro flow --flow esop --design intdiv -n 8 -p 0
+    python -m repro flow --flow hierarchical --verilog adder.v -n 8 --real out.real
+    python -m repro explore --design intdiv -n 6
+    python -m repro designs --design newton -n 8          # print generated Verilog
+    python -m repro baselines -n 8                        # Table I style numbers
+
+The CLI is a thin layer over :mod:`repro.core`; everything it prints can be
+obtained programmatically from :func:`repro.run_flow` and
+:class:`repro.DesignSpaceExplorer`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.baselines.qnewton import qnewton_resources
+from repro.baselines.resdiv import resdiv_resources
+from repro.core.explorer import DesignSpaceExplorer, default_configurations
+from repro.core.flows import available_flows, design_source, run_flow
+from repro.io.qasm import write_qasm
+from repro.io.realfmt import write_real
+from repro.quantum.mapping import map_to_clifford_t
+from repro.utils.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser of the ``repro`` command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Design automation and design space exploration for quantum computers",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    flow = subparsers.add_parser("flow", help="run one design flow")
+    flow.add_argument("--flow", choices=sorted(available_flows()), required=True)
+    flow.add_argument("--design", default="intdiv", help="intdiv / newton / isqrt or a name for --verilog")
+    flow.add_argument("--verilog", type=Path, help="path to a Verilog file to synthesise")
+    flow.add_argument("-n", "--bitwidth", type=int, default=8)
+    flow.add_argument("-p", "--factoring", type=int, default=0, help="ESOP factoring parameter")
+    flow.add_argument("--strategy", default="bennett", help="hierarchical cleanup strategy")
+    flow.add_argument("--no-verify", action="store_true", help="skip equivalence checking")
+    flow.add_argument("--cost-model", default="rtof", choices=["rtof", "barenco"])
+    flow.add_argument("--real", type=Path, help="write the reversible circuit as RevLib .real")
+    flow.add_argument("--qasm", type=Path, help="map to Clifford+T and write OpenQASM 2.0")
+
+    explore = subparsers.add_parser("explore", help="design space exploration")
+    explore.add_argument("--design", default="intdiv")
+    explore.add_argument("-n", "--bitwidth", type=int, default=6)
+    explore.add_argument("--no-verify", action="store_true")
+
+    designs = subparsers.add_parser("designs", help="print generated Verilog for a built-in design")
+    designs.add_argument("--design", default="intdiv")
+    designs.add_argument("-n", "--bitwidth", type=int, default=8)
+
+    baselines = subparsers.add_parser("baselines", help="RESDIV/QNEWTON baseline figures (Table I)")
+    baselines.add_argument("-n", "--bitwidth", type=int, default=8)
+
+    return parser
+
+
+def _command_flow(args: argparse.Namespace) -> int:
+    parameters = {}
+    if args.flow == "esop":
+        parameters["p"] = args.factoring
+    if args.flow == "hierarchical":
+        parameters["strategy"] = args.strategy
+    if args.verilog is not None:
+        parameters["verilog"] = args.verilog.read_text()
+
+    result = run_flow(
+        args.flow,
+        args.design,
+        args.bitwidth,
+        verify=not args.no_verify,
+        cost_model=args.cost_model,
+        **parameters,
+    )
+    report = result.report
+    rows = [
+        ("design", report.design),
+        ("flow", report.flow),
+        ("bitwidth", report.bitwidth),
+        ("qubits", report.qubits),
+        ("T-count", report.t_count),
+        ("gates", report.gate_count),
+        ("max controls", report.max_controls),
+        ("runtime [s]", f"{report.runtime_seconds:.3f}"),
+        ("verified", report.verified),
+    ]
+    print(format_table(["metric", "value"], rows))
+
+    if args.real is not None:
+        args.real.write_text(write_real(result.circuit))
+        print(f"wrote {args.real}")
+    if args.qasm is not None:
+        quantum = map_to_clifford_t(result.circuit)
+        args.qasm.write_text(write_qasm(quantum))
+        print(f"wrote {args.qasm} ({quantum.num_qubits} qubits, {quantum.t_count()} T)")
+    return 0
+
+
+def _command_explore(args: argparse.Namespace) -> int:
+    explorer = DesignSpaceExplorer(
+        args.design,
+        args.bitwidth,
+        configurations=default_configurations(),
+        verify=not args.no_verify,
+    )
+    explorer.explore()
+    print(
+        format_table(
+            ["configuration", "qubits", "T-count", "runtime [s]"],
+            explorer.summary_rows(),
+            title=f"Design space of {args.design}({args.bitwidth})",
+        )
+    )
+    front = explorer.pareto_front()
+    print()
+    print(
+        format_table(
+            ["Pareto point", "qubits", "T-count"],
+            [(p.configuration, p.qubits, p.t_count) for p in front],
+            title="Pareto front",
+        )
+    )
+    return 0
+
+
+def _command_designs(args: argparse.Namespace) -> int:
+    print(design_source(args.design, args.bitwidth), end="")
+    return 0
+
+
+def _command_baselines(args: argparse.Namespace) -> int:
+    resdiv = resdiv_resources(args.bitwidth)
+    qnewton = qnewton_resources(args.bitwidth)
+    print(
+        format_table(
+            ["baseline", "qubits", "T-count"],
+            [
+                (resdiv.name, resdiv.qubits, resdiv.t_count),
+                (qnewton.name, qnewton.qubits, qnewton.t_count),
+            ],
+            title=f"Manual baselines for n = {args.bitwidth} (Table I)",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "flow": _command_flow,
+        "explore": _command_explore,
+        "designs": _command_designs,
+        "baselines": _command_baselines,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

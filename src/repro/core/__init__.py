@@ -1,0 +1,38 @@
+"""The paper's contribution: end-to-end design flows and design space
+exploration for quantum computers.
+
+* :mod:`repro.core.flows` — the three flows of Fig. 1 (symbolic functional,
+  ESOP-based, hierarchical), each going from Verilog through classical logic
+  synthesis to a reversible circuit,
+* :mod:`repro.core.cost` — the cost report (qubits, T-count, runtime) used
+  throughout the experiments,
+* :mod:`repro.core.explorer` — design space exploration across flows and
+  flow parameters, including Pareto-front extraction,
+* :mod:`repro.core.reports` — paper-style table rendering for the benchmark
+  harness.
+"""
+
+from repro.core.cost import CostReport
+from repro.core.explorer import DesignSpaceExplorer, ParetoPoint
+from repro.core.flow import Flow, FlowResult, FlowStage
+from repro.core.flows import (
+    available_flows,
+    esop_flow,
+    hierarchical_flow,
+    run_flow,
+    symbolic_flow,
+)
+
+__all__ = [
+    "CostReport",
+    "DesignSpaceExplorer",
+    "Flow",
+    "FlowResult",
+    "FlowStage",
+    "ParetoPoint",
+    "available_flows",
+    "esop_flow",
+    "hierarchical_flow",
+    "run_flow",
+    "symbolic_flow",
+]

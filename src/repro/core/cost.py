@@ -1,0 +1,69 @@
+"""Cost reports: the metrics the paper's experiments tabulate.
+
+Every flow run produces a :class:`CostReport` holding the number of qubits,
+the T-count (under a selectable cost model), the gate count, the largest
+control count and the flow runtime — the columns of Tables I-IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.reversible.circuit import ReversibleCircuit
+
+__all__ = ["CostReport"]
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Cost metrics of one synthesis result."""
+
+    design: str
+    flow: str
+    bitwidth: int
+    qubits: int
+    t_count: int
+    gate_count: int
+    max_controls: int
+    runtime_seconds: float
+    verified: Optional[bool] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_circuit(
+        cls,
+        circuit: ReversibleCircuit,
+        design: str,
+        flow: str,
+        bitwidth: int,
+        runtime_seconds: float,
+        model: str = "rtof",
+        verified: Optional[bool] = None,
+        extra: Optional[Dict[str, float]] = None,
+    ) -> "CostReport":
+        """Measure a reversible circuit and build the report."""
+        return cls(
+            design=design,
+            flow=flow,
+            bitwidth=bitwidth,
+            qubits=circuit.num_lines(),
+            t_count=circuit.t_count(model),
+            gate_count=circuit.num_gates(),
+            max_controls=circuit.max_controls(),
+            runtime_seconds=runtime_seconds,
+            verified=verified,
+            extra=dict(extra or {}),
+        )
+
+    def as_table_row(self):
+        """The ``(n, qubits, T-count, runtime)`` row used by the benchmarks."""
+        return (self.bitwidth, self.qubits, self.t_count, self.runtime_seconds)
+
+    def dominates(self, other: "CostReport") -> bool:
+        """Pareto dominance on the (qubits, T-count) plane."""
+        return (
+            self.qubits <= other.qubits
+            and self.t_count <= other.t_count
+            and (self.qubits < other.qubits or self.t_count < other.t_count)
+        )

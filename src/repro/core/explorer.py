@@ -1,0 +1,134 @@
+"""Design space exploration across flows and flow parameters.
+
+The paper's central claim is that the combination of classical and
+reversible logic synthesis "enables nontrivial design space exploration":
+the designer can trade qubits against T-count (space against time) by
+choosing the flow and its parameters.  :class:`DesignSpaceExplorer` runs a
+set of flow configurations on one design and extracts the Pareto-optimal
+points of that trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.cost import CostReport
+from repro.core.flows import run_flow
+
+__all__ = ["FlowConfiguration", "ParetoPoint", "DesignSpaceExplorer"]
+
+
+@dataclass(frozen=True)
+class FlowConfiguration:
+    """One point of the design space: a flow plus its parameters."""
+
+    flow: str
+    parameters: tuple = ()
+
+    def label(self) -> str:
+        """Human-readable configuration label."""
+        if not self.parameters:
+            return self.flow
+        params = ", ".join(f"{key}={value}" for key, value in self.parameters)
+        return f"{self.flow}({params})"
+
+    def as_kwargs(self) -> Dict[str, Any]:
+        return dict(self.parameters)
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """A non-dominated (qubits, T-count) point with its provenance."""
+
+    configuration: str
+    qubits: int
+    t_count: int
+    report: CostReport
+
+
+def default_configurations() -> List[FlowConfiguration]:
+    """The configurations explored by the paper's experiments."""
+    return [
+        FlowConfiguration("symbolic"),
+        FlowConfiguration("esop", (("p", 0),)),
+        FlowConfiguration("esop", (("p", 1),)),
+        FlowConfiguration("hierarchical", (("strategy", "bennett"),)),
+        FlowConfiguration("hierarchical", (("strategy", "per_output"),)),
+    ]
+
+
+class DesignSpaceExplorer:
+    """Run several flow configurations on one design and analyse the results."""
+
+    def __init__(
+        self,
+        design: str,
+        bitwidth: int,
+        configurations: Optional[Sequence[FlowConfiguration]] = None,
+        verify: bool = True,
+        cost_model: str = "rtof",
+    ):
+        self.design = design
+        self.bitwidth = bitwidth
+        self.configurations = list(configurations or default_configurations())
+        self.verify = verify
+        self.cost_model = cost_model
+        self.reports: Dict[str, CostReport] = {}
+
+    # -- exploration --------------------------------------------------------------
+
+    def explore(self) -> Dict[str, CostReport]:
+        """Run every configuration; returns label -> cost report."""
+        for configuration in self.configurations:
+            result = run_flow(
+                configuration.flow,
+                self.design,
+                self.bitwidth,
+                verify=self.verify,
+                cost_model=self.cost_model,
+                **configuration.as_kwargs(),
+            )
+            self.reports[configuration.label()] = result.report
+        return dict(self.reports)
+
+    # -- analysis -----------------------------------------------------------------
+
+    def pareto_front(self) -> List[ParetoPoint]:
+        """Non-dominated points on the (qubits, T-count) plane."""
+        if not self.reports:
+            self.explore()
+        points = []
+        for label, report in self.reports.items():
+            dominated = any(
+                other.dominates(report)
+                for other_label, other in self.reports.items()
+                if other_label != label
+            )
+            if not dominated:
+                points.append(
+                    ParetoPoint(label, report.qubits, report.t_count, report)
+                )
+        points.sort(key=lambda point: (point.qubits, point.t_count))
+        return points
+
+    def best_by_qubits(self) -> CostReport:
+        """The configuration with the fewest qubits."""
+        if not self.reports:
+            self.explore()
+        return min(self.reports.values(), key=lambda report: report.qubits)
+
+    def best_by_t_count(self) -> CostReport:
+        """The configuration with the smallest T-count."""
+        if not self.reports:
+            self.explore()
+        return min(self.reports.values(), key=lambda report: report.t_count)
+
+    def summary_rows(self) -> List[tuple]:
+        """Rows ``(configuration, qubits, T-count, runtime)`` for reporting."""
+        if not self.reports:
+            self.explore()
+        return [
+            (label, report.qubits, report.t_count, report.runtime_seconds)
+            for label, report in sorted(self.reports.items())
+        ]

@@ -1,0 +1,106 @@
+"""Flow abstraction: a named sequence of stages from design entry to a
+reversible circuit.
+
+A :class:`Flow` is a list of :class:`FlowStage` callables threaded through a
+shared context dictionary; running it produces a :class:`FlowResult` with
+the final circuit, per-stage timings and the aggregate cost report.  The
+three concrete flows of the paper are assembled in
+:mod:`repro.core.flows`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.cost import CostReport
+from repro.reversible.circuit import ReversibleCircuit
+
+__all__ = ["Flow", "FlowResult", "FlowStage"]
+
+
+@dataclass
+class FlowStage:
+    """One stage of a flow: a name and a context transformer."""
+
+    name: str
+    run: Callable[[Dict[str, Any]], None]
+
+
+@dataclass
+class FlowResult:
+    """Outcome of a flow run."""
+
+    flow: str
+    design: str
+    bitwidth: int
+    circuit: ReversibleCircuit
+    report: CostReport
+    stage_runtimes: Dict[str, float] = field(default_factory=dict)
+    context: Dict[str, Any] = field(default_factory=dict)
+
+    def stage_runtime(self, name: str) -> float:
+        """Runtime of one stage in seconds."""
+        return self.stage_runtimes[name]
+
+
+class Flow:
+    """A named sequence of stages producing a reversible circuit.
+
+    The context dictionary is seeded with ``design``, ``bitwidth`` and any
+    keyword arguments of :meth:`run`; stages communicate by reading and
+    writing context keys (``verilog``, ``aig``, ``esop``, ``xmg``,
+    ``circuit``, ...).  The final stage must set ``circuit``.
+    """
+
+    def __init__(self, name: str, stages: List[FlowStage], cost_model: str = "rtof"):
+        if not stages:
+            raise ValueError("a flow needs at least one stage")
+        self.name = name
+        self.stages = stages
+        self.cost_model = cost_model
+
+    def stage_names(self) -> List[str]:
+        """Names of the stages in execution order."""
+        return [stage.name for stage in self.stages]
+
+    def run(self, design: str, bitwidth: int, **parameters: Any) -> FlowResult:
+        """Execute the flow for one design instance."""
+        context: Dict[str, Any] = {
+            "design": design,
+            "bitwidth": bitwidth,
+            **parameters,
+        }
+        stage_runtimes: Dict[str, float] = {}
+        start = time.perf_counter()
+        for stage in self.stages:
+            stage_start = time.perf_counter()
+            stage.run(context)
+            stage_runtimes[stage.name] = time.perf_counter() - stage_start
+        total_runtime = time.perf_counter() - start
+
+        circuit = context.get("circuit")
+        if not isinstance(circuit, ReversibleCircuit):
+            raise RuntimeError(
+                f"flow {self.name!r} did not produce a reversible circuit"
+            )
+        report = CostReport.from_circuit(
+            circuit,
+            design=design,
+            flow=self.name,
+            bitwidth=bitwidth,
+            runtime_seconds=total_runtime,
+            model=self.cost_model,
+            verified=context.get("verified"),
+            extra=context.get("extra_metrics"),
+        )
+        return FlowResult(
+            flow=self.name,
+            design=design,
+            bitwidth=bitwidth,
+            circuit=circuit,
+            report=report,
+            stage_runtimes=stage_runtimes,
+            context=context,
+        )

@@ -1,0 +1,269 @@
+"""The three design flows of Fig. 1.
+
+Every flow starts from a Verilog description (the generated ``INTDIV(n)`` /
+``NEWTON(n)`` designs or user-provided source), performs classical logic
+synthesis and hands the result to one of the reversible synthesis back-ends:
+
+* :func:`symbolic_flow`     — ABC ``dc2`` + ``collapse`` analogue, optimum
+  embedding, transformation-based synthesis (Table II),
+* :func:`esop_flow`         — AIG optimisation, ESOP extraction and
+  exorcism-style minimisation, REVS-style ESOP synthesis with the factoring
+  parameter ``p`` (Table III),
+* :func:`hierarchical_flow` — repeated ``resyn2`` analogue, ``xmglut``-style
+  XMG mapping, hierarchical synthesis (Table IV).
+
+All flows optionally verify the produced circuit against the bit-blasted
+design (ABC ``cec`` analogue) and report qubits, T-count and runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.flow import Flow, FlowResult, FlowStage
+from repro.hdl.designs import intdiv_verilog, newton_verilog
+from repro.hdl.synthesize import synthesize_verilog
+from repro.logic.aig import Aig
+from repro.logic.aig_opt import optimize_script
+from repro.logic.collapse import bdd_to_truth_table, collapse_to_bdd, collapse_to_esop
+from repro.logic.xmg_mapping import aig_to_xmg
+from repro.reversible.embedding import optimum_embedding
+from repro.reversible.esop_synth import esop_synthesis
+from repro.reversible.hierarchical import hierarchical_synthesis
+from repro.reversible.symbolic_tbs import symbolic_tbs
+from repro.reversible.verification import verify_circuit
+
+__all__ = [
+    "available_flows",
+    "design_source",
+    "esop_flow",
+    "hierarchical_flow",
+    "run_flow",
+    "symbolic_flow",
+]
+
+
+def design_source(design: str, bitwidth: int) -> str:
+    """Verilog source of a named built-in design.
+
+    ``intdiv`` and ``newton`` are the reciprocal designs of the paper;
+    ``isqrt`` is the inverse-square-root companion design (the paper's
+    "future work" function, see :mod:`repro.hdl.isqrt`).
+    """
+    design = design.lower()
+    if design == "intdiv":
+        return intdiv_verilog(bitwidth)
+    if design == "newton":
+        return newton_verilog(bitwidth)
+    if design == "isqrt":
+        from repro.hdl.isqrt import isqrt_verilog
+
+        return isqrt_verilog(bitwidth)
+    raise ValueError(
+        f"unknown design {design!r} (expected 'intdiv', 'newton' or 'isqrt')"
+    )
+
+
+# -- shared stages ------------------------------------------------------------
+
+
+def _stage_frontend(context: Dict[str, Any]) -> None:
+    """Design entry: generate/accept Verilog and bit-blast it into an AIG."""
+    if isinstance(context.get("aig"), Aig):
+        return
+    source = context.get("verilog")
+    if source is None:
+        source = design_source(context["design"], context["bitwidth"])
+        context["verilog"] = source
+    context["aig"] = synthesize_verilog(source)
+
+
+def _make_optimize_stage(script: str, rounds: int) -> FlowStage:
+    def run(context: Dict[str, Any]) -> None:
+        context["aig"] = optimize_script(context["aig"], script, rounds=rounds)
+
+    return FlowStage(f"optimize[{script}x{rounds}]", run)
+
+
+def _stage_post_optimize(context: Dict[str, Any]) -> None:
+    """Optional peephole optimisation of the synthesised cascade."""
+    if not context.get("post_optimize", False):
+        return
+    from repro.reversible.optimize import optimize_circuit
+
+    context["circuit"] = optimize_circuit(context["circuit"])
+
+
+def _stage_verify(context: Dict[str, Any]) -> None:
+    """ABC ``cec`` analogue: exhaustively compare circuit and AIG."""
+    if not context.get("verify", True):
+        context["verified"] = None
+        return
+    aig: Aig = context["aig"]
+    limit = context.get("verify_input_limit", 10)
+    if aig.num_pis() > limit:
+        samples = context.get("verify_samples", 256)
+    else:
+        samples = None
+    result = verify_circuit(
+        context["circuit"], aig.to_truth_table(), num_samples=samples
+    )
+    if not result:
+        raise RuntimeError(f"flow verification failed: {result.message}")
+    context["verified"] = True
+
+
+# -- symbolic functional flow -----------------------------------------------------
+
+
+def _stage_collapse_bdd(context: Dict[str, Any]) -> None:
+    manager, roots = collapse_to_bdd(context["aig"])
+    context["bdd"] = (manager, roots)
+    context["function"] = bdd_to_truth_table(manager, roots)
+    context["extra_metrics"] = {
+        **context.get("extra_metrics", {}),
+        "bdd_nodes": manager.node_count(roots),
+    }
+
+
+def _stage_embed(context: Dict[str, Any]) -> None:
+    context["embedding"] = optimum_embedding(context["function"])
+
+
+def _stage_tbs(context: Dict[str, Any]) -> None:
+    context["circuit"] = symbolic_tbs(
+        context["embedding"],
+        bidirectional=context.get("bidirectional", True),
+        name=f"{context['design']}_{context['bitwidth']}_symbolic",
+    )
+
+
+def symbolic_flow(cost_model: str = "rtof", optimization_rounds: int = 2) -> Flow:
+    """The symbolic functional synthesis flow (Section IV-A / Table II)."""
+    return Flow(
+        "symbolic",
+        [
+            FlowStage("frontend", _stage_frontend),
+            _make_optimize_stage("dc2", optimization_rounds),
+            FlowStage("collapse", _stage_collapse_bdd),
+            FlowStage("embed", _stage_embed),
+            FlowStage("tbs", _stage_tbs),
+            FlowStage("post-optimize", _stage_post_optimize),
+            FlowStage("verify", _stage_verify),
+        ],
+        cost_model=cost_model,
+    )
+
+
+# -- ESOP-based flow ----------------------------------------------------------------
+
+
+def _stage_esop_extract(context: Dict[str, Any]) -> None:
+    cover = collapse_to_esop(context["aig"], minimize=True)
+    context["esop"] = cover
+    context["extra_metrics"] = {
+        **context.get("extra_metrics", {}),
+        "esop_terms": cover.num_terms(),
+        "esop_shared_terms": cover.shared_terms(),
+    }
+
+
+def _stage_esop_synthesis(context: Dict[str, Any]) -> None:
+    context["circuit"] = esop_synthesis(
+        context["esop"],
+        p=context.get("p", 0),
+        name=f"{context['design']}_{context['bitwidth']}_esop_p{context.get('p', 0)}",
+    )
+
+
+def esop_flow(cost_model: str = "rtof", optimization_rounds: int = 1) -> Flow:
+    """The ESOP-based (REVS) synthesis flow (Section IV-B / Table III)."""
+    return Flow(
+        "esop",
+        [
+            FlowStage("frontend", _stage_frontend),
+            _make_optimize_stage("dc2", optimization_rounds),
+            FlowStage("exorcism", _stage_esop_extract),
+            FlowStage("esop-synthesis", _stage_esop_synthesis),
+            FlowStage("post-optimize", _stage_post_optimize),
+            FlowStage("verify", _stage_verify),
+        ],
+        cost_model=cost_model,
+    )
+
+
+# -- hierarchical flow -----------------------------------------------------------------
+
+
+def _stage_xmg_map(context: Dict[str, Any]) -> None:
+    xmg = aig_to_xmg(context["aig"], k=context.get("lut_size", 4))
+    context["xmg"] = xmg
+    context["extra_metrics"] = {
+        **context.get("extra_metrics", {}),
+        "xmg_maj": xmg.num_maj(),
+        "xmg_xor": xmg.num_xor(),
+    }
+
+
+def _stage_hierarchical(context: Dict[str, Any]) -> None:
+    context["circuit"] = hierarchical_synthesis(
+        context["xmg"],
+        strategy=context.get("strategy", "bennett"),
+        name=f"{context['design']}_{context['bitwidth']}_hier",
+    )
+
+
+def hierarchical_flow(cost_model: str = "rtof", optimization_rounds: int = 2) -> Flow:
+    """The hierarchical synthesis flow (Section IV-C / Table IV)."""
+    return Flow(
+        "hierarchical",
+        [
+            FlowStage("frontend", _stage_frontend),
+            _make_optimize_stage("resyn2", optimization_rounds),
+            FlowStage("xmglut", _stage_xmg_map),
+            FlowStage("hierarchical-synthesis", _stage_hierarchical),
+            FlowStage("post-optimize", _stage_post_optimize),
+            FlowStage("verify", _stage_verify),
+        ],
+        cost_model=cost_model,
+    )
+
+
+_FLOW_FACTORIES = {
+    "symbolic": symbolic_flow,
+    "esop": esop_flow,
+    "hierarchical": hierarchical_flow,
+}
+
+
+def available_flows() -> List[str]:
+    """Names of the flows of Fig. 1."""
+    return list(_FLOW_FACTORIES)
+
+
+def run_flow(
+    flow: str,
+    design: Union[str, Aig],
+    bitwidth: int,
+    verify: bool = True,
+    cost_model: str = "rtof",
+    **parameters: Any,
+) -> FlowResult:
+    """Run one named flow on one design instance.
+
+    ``design`` is ``"intdiv"``, ``"newton"``, or a pre-built
+    :class:`~repro.logic.aig.Aig` (in which case ``bitwidth`` is only used
+    for reporting).  ``parameters`` are forwarded to the stages (``p``,
+    ``strategy``, ``lut_size``, ``bidirectional``, ``verilog``, ...).
+    """
+    if flow not in _FLOW_FACTORIES:
+        raise ValueError(
+            f"unknown flow {flow!r}; available: {', '.join(available_flows())}"
+        )
+    flow_object = _FLOW_FACTORIES[flow](cost_model=cost_model)
+    if isinstance(design, Aig):
+        parameters = {**parameters, "aig": design}
+        design_name = design.name or "custom"
+    else:
+        design_name = design
+    return flow_object.run(design_name, bitwidth, verify=verify, **parameters)

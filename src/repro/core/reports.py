@@ -1,0 +1,94 @@
+"""Paper-style table rendering for the benchmark harness.
+
+The benchmark scripts collect :class:`repro.core.cost.CostReport` objects and
+use these helpers to print rows shaped like the paper's Tables I-IV
+(bit-width, qubits, T-count, runtime per design).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.cost import CostReport
+from repro.utils.tables import format_table
+
+__all__ = [
+    "paper_table",
+    "side_by_side_table",
+    "ratio_summary",
+    "flow_graph_description",
+]
+
+
+def paper_table(reports: Sequence[CostReport], title: str = "") -> str:
+    """Render one flow's reports as an ``n / qubits / T-count / runtime`` table."""
+    rows = [report.as_table_row() for report in sorted(reports, key=lambda r: r.bitwidth)]
+    return format_table(["n", "qubits", "T-count", "runtime [s]"], rows, title=title)
+
+
+def side_by_side_table(
+    groups: Dict[str, Sequence[CostReport]], title: str = ""
+) -> str:
+    """Render several designs side by side (like INTDIV vs NEWTON columns)."""
+    bitwidths = sorted(
+        {report.bitwidth for reports in groups.values() for report in reports}
+    )
+    headers = ["n"]
+    for name in groups:
+        headers += [f"{name} qubits", f"{name} T-count", f"{name} runtime [s]"]
+    rows = []
+    for n in bitwidths:
+        row: List[object] = [n]
+        for name, reports in groups.items():
+            match = next((r for r in reports if r.bitwidth == n), None)
+            if match is None:
+                row += [None, None, None]
+            else:
+                row += [match.qubits, match.t_count, match.runtime_seconds]
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def ratio_summary(
+    reports: Sequence[CostReport], baselines: Dict[int, Tuple[int, int]]
+) -> List[Tuple[int, float, float]]:
+    """Qubit and T-count ratios versus a baseline (paper Section V narrative).
+
+    ``baselines`` maps bit-width to ``(qubits, t_count)``.  Returns rows
+    ``(n, qubit_ratio, t_ratio)`` where a ratio below 1 means the flow beats
+    the baseline.
+    """
+    rows = []
+    for report in sorted(reports, key=lambda r: r.bitwidth):
+        if report.bitwidth not in baselines:
+            continue
+        base_qubits, base_t = baselines[report.bitwidth]
+        rows.append(
+            (
+                report.bitwidth,
+                report.qubits / base_qubits if base_qubits else float("inf"),
+                report.t_count / base_t if base_t else float("inf"),
+            )
+        )
+    return rows
+
+
+def flow_graph_description() -> str:
+    """A textual rendering of Fig. 1 (the design-flow graph)."""
+    lines = [
+        "design level        INTDIV(n) / NEWTON(n)   [Verilog]",
+        "                         |",
+        "logic synthesis     bit-blast -> AIG -> {dc2 | resyn2} optimisation",
+        "                         |",
+        "                 +-------+----------------+----------------------+",
+        "                 |                        |                      |",
+        "              collapse                 exorcism               xmglut",
+        "               (BDD)                   (ESOP)                  (XMG)",
+        "                 |                        |                      |",
+        "reversible   symbolic functional   ESOP-based (REVS, p)   hierarchical (REVS)",
+        "synthesis        |                        |                      |",
+        "                 +------------+-----------+----------+-----------+",
+        "                              |",
+        "quantum level        Clifford+T mapping / T-count cost models",
+    ]
+    return "\n".join(lines)

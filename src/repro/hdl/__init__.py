@@ -1,0 +1,35 @@
+"""Verilog subset front-end (the *design level* of the paper's flow).
+
+The paper starts every flow from an irreversible Verilog description.  This
+sub-package provides a self-contained front-end for the combinational
+Verilog-2001 subset needed by the reciprocal designs (and by similar
+arithmetic blocks):
+
+* :mod:`repro.hdl.lexer` / :mod:`repro.hdl.parser` / :mod:`repro.hdl.ast` —
+  parsing into an abstract syntax tree,
+* :mod:`repro.hdl.elaborator` / :mod:`repro.hdl.netlist` — parameter
+  resolution and word-level netlist construction,
+* :mod:`repro.hdl.bitblast` — word-level netlist to and-inverter graph,
+* :mod:`repro.hdl.designs` — generators for the ``INTDIV(n)`` and
+  ``NEWTON(n)`` reciprocal designs of Section III.
+
+The only intentionally unsupported Verilog features are sequential logic
+(``always @(posedge ...)``), hierarchical instantiation and the ``signed``
+keyword; the provided designs express two's-complement arithmetic with
+explicit unsigned manipulations instead.
+"""
+
+from repro.hdl.bitblast import bitblast
+from repro.hdl.designs import intdiv_verilog, newton_verilog
+from repro.hdl.elaborator import elaborate
+from repro.hdl.parser import parse_verilog
+from repro.hdl.synthesize import synthesize_verilog
+
+__all__ = [
+    "bitblast",
+    "elaborate",
+    "intdiv_verilog",
+    "newton_verilog",
+    "parse_verilog",
+    "synthesize_verilog",
+]

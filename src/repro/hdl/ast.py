@@ -1,0 +1,203 @@
+"""Abstract syntax tree of the supported Verilog subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "Expression",
+    "Number",
+    "Identifier",
+    "UnaryOp",
+    "BinaryOp",
+    "TernaryOp",
+    "Concat",
+    "Repeat",
+    "BitSelect",
+    "PartSelect",
+    "Range",
+    "PortDeclaration",
+    "NetDeclaration",
+    "ParameterDeclaration",
+    "ContinuousAssign",
+    "Module",
+]
+
+
+class Expression:
+    """Base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class Number(Expression):
+    """A literal number with an optional explicit width."""
+
+    value: int
+    width: Optional[int] = None
+    base: str = "d"
+
+    def __str__(self) -> str:
+        if self.width is None:
+            return str(self.value)
+        return f"{self.width}'{self.base}{self.value:x}" if self.base == "h" else (
+            f"{self.width}'d{self.value}"
+        )
+
+
+@dataclass(frozen=True)
+class Identifier(Expression):
+    """A reference to a named signal or parameter."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """A unary operator: ``~ ! - + & | ^``."""
+
+    op: str
+    operand: Expression
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """A binary operator."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class TernaryOp(Expression):
+    """The conditional operator ``cond ? then : else``."""
+
+    condition: Expression
+    if_true: Expression
+    if_false: Expression
+
+    def __str__(self) -> str:
+        return f"({self.condition} ? {self.if_true} : {self.if_false})"
+
+
+@dataclass(frozen=True)
+class Concat(Expression):
+    """A concatenation ``{a, b, c}`` (left-most part is most significant)."""
+
+    parts: Tuple[Expression, ...]
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(p) for p in self.parts) + "}"
+
+
+@dataclass(frozen=True)
+class Repeat(Expression):
+    """A replication ``{count{expr}}``."""
+
+    count: Expression
+    value: Expression
+
+    def __str__(self) -> str:
+        return f"{{{self.count}{{{self.value}}}}}"
+
+
+@dataclass(frozen=True)
+class BitSelect(Expression):
+    """A single-bit select ``signal[index]``."""
+
+    signal: Expression
+    index: Expression
+
+    def __str__(self) -> str:
+        return f"{self.signal}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class PartSelect(Expression):
+    """A constant part select ``signal[msb:lsb]``."""
+
+    signal: Expression
+    msb: Expression
+    lsb: Expression
+
+    def __str__(self) -> str:
+        return f"{self.signal}[{self.msb}:{self.lsb}]"
+
+
+@dataclass(frozen=True)
+class Range:
+    """A declaration range ``[msb:lsb]``."""
+
+    msb: Expression
+    lsb: Expression
+
+
+@dataclass
+class PortDeclaration:
+    """A module port (``input``/``output``) with an optional range."""
+
+    direction: str  # "input" | "output"
+    name: str
+    range: Optional[Range] = None
+
+
+@dataclass
+class NetDeclaration:
+    """A ``wire`` declaration (optionally with an initial assignment)."""
+
+    name: str
+    range: Optional[Range] = None
+    value: Optional[Expression] = None
+
+
+@dataclass
+class ParameterDeclaration:
+    """A ``parameter``/``localparam`` declaration."""
+
+    name: str
+    value: Expression
+    local: bool = False
+
+
+@dataclass
+class ContinuousAssign:
+    """A continuous assignment ``assign lhs = rhs``."""
+
+    target: Expression
+    value: Expression
+
+
+@dataclass
+class Module:
+    """A parsed Verilog module."""
+
+    name: str
+    ports: List[PortDeclaration] = field(default_factory=list)
+    parameters: List[ParameterDeclaration] = field(default_factory=list)
+    nets: List[NetDeclaration] = field(default_factory=list)
+    assigns: List[ContinuousAssign] = field(default_factory=list)
+
+    def port(self, name: str) -> PortDeclaration:
+        """Look up a port by name."""
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise KeyError(f"module {self.name} has no port {name!r}")
+
+    def inputs(self) -> List[PortDeclaration]:
+        """All input ports, in declaration order."""
+        return [p for p in self.ports if p.direction == "input"]
+
+    def outputs(self) -> List[PortDeclaration]:
+        """All output ports, in declaration order."""
+        return [p for p in self.ports if p.direction == "output"]

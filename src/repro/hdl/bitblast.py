@@ -1,0 +1,253 @@
+"""Bit-blasting: word-level netlist to and-inverter graph.
+
+Every word value becomes a vector of AIG literals (least significant bit
+first).  Arithmetic operators are expanded into standard gate-level
+structures (ripple-carry adders, array multiplier, restoring divider, barrel
+shifters, ...) whose semantics match the reference evaluation in
+:meth:`repro.hdl.netlist.WordNetlist.evaluate` bit for bit — including the
+division-by-zero convention (quotient all ones, remainder equals the
+dividend).
+
+The primary input order of the produced AIG is the netlist input order with
+the least significant bit first; this fixes the minterm encoding used by the
+reversible flows downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.logic.aig import Aig, lit_not
+from repro.hdl.netlist import WordNetlist, WordOp
+
+__all__ = ["bitblast", "BitBlaster"]
+
+
+Bits = List[int]
+
+
+class BitBlaster:
+    """Stateful helper translating one netlist into one AIG."""
+
+    def __init__(self, netlist: WordNetlist, name: str = ""):
+        self.netlist = netlist
+        self.aig = Aig(name or netlist.name)
+        self._values: Dict[int, Bits] = {}
+
+    # -- primitive vector helpers -------------------------------------------------
+
+    def _const_bits(self, value: int, width: int) -> Bits:
+        return [Aig.CONST1 if (value >> i) & 1 else Aig.CONST0 for i in range(width)]
+
+    def _full_adder(self, a: int, b: int, carry: int) -> Tuple[int, int]:
+        """Return (sum, carry-out) literals of a full adder."""
+        axb = self.aig.create_xor(a, b)
+        total = self.aig.create_xor(axb, carry)
+        carry_out = self.aig.create_or(
+            self.aig.create_and(a, b), self.aig.create_and(axb, carry)
+        )
+        return total, carry_out
+
+    def _ripple_add(self, a: Bits, b: Bits, carry_in: int = Aig.CONST0) -> Tuple[Bits, int]:
+        """Ripple-carry addition of two equal-width vectors."""
+        assert len(a) == len(b)
+        result: Bits = []
+        carry = carry_in
+        for bit_a, bit_b in zip(a, b):
+            total, carry = self._full_adder(bit_a, bit_b, carry)
+            result.append(total)
+        return result, carry
+
+    def _subtract(self, a: Bits, b: Bits) -> Tuple[Bits, int]:
+        """a - b; the returned carry is 1 iff a >= b (no borrow)."""
+        inverted = [lit_not(bit) for bit in b]
+        return self._ripple_add(a, inverted, Aig.CONST1)
+
+    def _negate(self, a: Bits) -> Bits:
+        inverted = [lit_not(bit) for bit in a]
+        result, _ = self._ripple_add(inverted, self._const_bits(1, len(a)))
+        return result
+
+    def _multiply(self, a: Bits, b: Bits) -> Bits:
+        """Array multiplier truncated to the operand width."""
+        width = len(a)
+        accumulator = self._const_bits(0, width)
+        for i in range(width):
+            partial = [
+                self.aig.create_and(a[j], b[i]) if i + j < width else Aig.CONST0
+                for j in range(width - i)
+            ]
+            shifted = self._const_bits(0, i) + partial
+            accumulator, _ = self._ripple_add(accumulator, shifted[:width])
+        return accumulator
+
+    def _less_than(self, a: Bits, b: Bits) -> int:
+        """Unsigned a < b."""
+        _, carry = self._subtract(a, b)
+        return lit_not(carry)
+
+    def _equal(self, a: Bits, b: Bits) -> int:
+        bits = [self.aig.create_xnor(x, y) for x, y in zip(a, b)]
+        return self.aig.create_and_multi(bits)
+
+    def _mux_bits(self, select: int, if_true: Bits, if_false: Bits) -> Bits:
+        assert len(if_true) == len(if_false)
+        return [
+            self.aig.create_mux(select, t, f) for t, f in zip(if_true, if_false)
+        ]
+
+    def _divide(self, dividend: Bits, divisor: Bits) -> Tuple[Bits, Bits]:
+        """Unsigned restoring division; returns (quotient, remainder)."""
+        width = len(dividend)
+        extended_divisor = divisor + [Aig.CONST0]
+        remainder = self._const_bits(0, width + 1)
+        quotient: Bits = [Aig.CONST0] * width
+        for i in reversed(range(width)):
+            shifted = [dividend[i]] + remainder[: width]
+            difference, no_borrow = self._subtract(shifted, extended_divisor)
+            remainder = self._mux_bits(no_borrow, difference, shifted)
+            quotient[i] = no_borrow
+        return quotient, remainder[:width]
+
+    def _shift_left(self, value: Bits, amount: Bits) -> Bits:
+        width = len(value)
+        current = list(value)
+        overflow_bits: List[int] = []
+        for k, bit in enumerate(amount):
+            step = 1 << k
+            if step >= width:
+                overflow_bits.append(bit)
+                continue
+            shifted = self._const_bits(0, step) + current[: width - step]
+            current = self._mux_bits(bit, shifted, current)
+        if overflow_bits:
+            overflow = self.aig.create_or_multi(overflow_bits)
+            current = self._mux_bits(overflow, self._const_bits(0, width), current)
+        return current
+
+    def _shift_right(self, value: Bits, amount: Bits) -> Bits:
+        width = len(value)
+        current = list(value)
+        overflow_bits: List[int] = []
+        for k, bit in enumerate(amount):
+            step = 1 << k
+            if step >= width:
+                overflow_bits.append(bit)
+                continue
+            shifted = current[step:] + self._const_bits(0, step)
+            current = self._mux_bits(bit, shifted, current)
+        if overflow_bits:
+            overflow = self.aig.create_or_multi(overflow_bits)
+            current = self._mux_bits(overflow, self._const_bits(0, width), current)
+        return current
+
+    def _dynamic_bit(self, value: Bits, index: Bits) -> int:
+        shifted = self._shift_right(value, index)
+        return shifted[0]
+
+    def _truth_value(self, value: Bits) -> int:
+        return self.aig.create_or_multi(value)
+
+    # -- netlist translation ---------------------------------------------------------
+
+    def run(self) -> Aig:
+        """Translate the whole netlist and return the AIG."""
+        for name, width, value_index in self.netlist.inputs():
+            bits = [self.aig.add_pi(f"{name}[{i}]") for i in range(width)]
+            self._values[value_index] = bits
+
+        for index, op in enumerate(self.netlist.operations()):
+            if op.kind == "input":
+                continue  # already handled above
+            self._values[index] = self._translate(op)
+
+        for name, width, value_index in self.netlist.outputs():
+            bits = self._values[value_index][:width]
+            for i, bit in enumerate(bits):
+                self.aig.add_po(bit, f"{name}[{i}]")
+        return self.aig
+
+    def _operand(self, op: WordOp, position: int) -> Bits:
+        return self._values[op.operands[position]]
+
+    def _translate(self, op: WordOp) -> Bits:
+        kind = op.kind
+        if kind == "const":
+            return self._const_bits(op.attr("value"), op.width)
+        if kind == "not":
+            return [lit_not(bit) for bit in self._operand(op, 0)]
+        if kind == "neg":
+            return self._negate(self._operand(op, 0))
+        if kind in ("and", "or", "xor"):
+            a, b = self._operand(op, 0), self._operand(op, 1)
+            create = {
+                "and": self.aig.create_and,
+                "or": self.aig.create_or,
+                "xor": self.aig.create_xor,
+            }[kind]
+            return [create(x, y) for x, y in zip(a, b)]
+        if kind == "add":
+            result, _ = self._ripple_add(self._operand(op, 0), self._operand(op, 1))
+            return result
+        if kind == "sub":
+            result, _ = self._subtract(self._operand(op, 0), self._operand(op, 1))
+            return result
+        if kind == "mul":
+            return self._multiply(self._operand(op, 0), self._operand(op, 1))
+        if kind == "div":
+            quotient, _ = self._divide(self._operand(op, 0), self._operand(op, 1))
+            return quotient
+        if kind == "mod":
+            _, remainder = self._divide(self._operand(op, 0), self._operand(op, 1))
+            return remainder
+        if kind == "shl":
+            return self._shift_left(self._operand(op, 0), self._operand(op, 1))
+        if kind == "shr":
+            return self._shift_right(self._operand(op, 0), self._operand(op, 1))
+        if kind in ("eq", "ne"):
+            equal = self._equal(self._operand(op, 0), self._operand(op, 1))
+            return [equal if kind == "eq" else lit_not(equal)]
+        if kind in ("lt", "le", "gt", "ge"):
+            a, b = self._operand(op, 0), self._operand(op, 1)
+            if kind == "lt":
+                return [self._less_than(a, b)]
+            if kind == "ge":
+                return [lit_not(self._less_than(a, b))]
+            if kind == "gt":
+                return [self._less_than(b, a)]
+            return [lit_not(self._less_than(b, a))]
+        if kind == "mux":
+            condition = self._truth_value(self._operand(op, 0))
+            return self._mux_bits(condition, self._operand(op, 1), self._operand(op, 2))
+        if kind == "slice":
+            lsb = op.attr("lsb")
+            return self._operand(op, 0)[lsb : lsb + op.width]
+        if kind == "dynbit":
+            return [self._dynamic_bit(self._operand(op, 0), self._operand(op, 1))]
+        if kind == "concat":
+            bits: Bits = []
+            for part in reversed(op.operands):  # last operand is least significant
+                bits.extend(self._values[part])
+            return bits
+        if kind == "zext":
+            source = self._operand(op, 0)
+            return source + self._const_bits(0, op.width - len(source))
+        if kind == "reduce_and":
+            return [self.aig.create_and_multi(self._operand(op, 0))]
+        if kind == "reduce_or":
+            return [self.aig.create_or_multi(self._operand(op, 0))]
+        if kind == "reduce_xor":
+            return [self.aig.create_xor_multi(self._operand(op, 0))]
+        if kind == "logic_not":
+            return [lit_not(self._truth_value(self._operand(op, 0)))]
+        if kind in ("logic_and", "logic_or"):
+            a = self._truth_value(self._operand(op, 0))
+            b = self._truth_value(self._operand(op, 1))
+            create = self.aig.create_and if kind == "logic_and" else self.aig.create_or
+            return [create(a, b)]
+        raise ValueError(f"cannot bit-blast operation kind {kind!r}")
+
+
+def bitblast(netlist: WordNetlist, name: str = "") -> Aig:
+    """Bit-blast a word-level netlist into an AIG."""
+    return BitBlaster(netlist, name).run().cleanup()

@@ -1,0 +1,206 @@
+"""The reciprocal designs of Section III: ``INTDIV(n)`` and ``NEWTON(n)``.
+
+Both designs compute an n-bit approximation ``y`` of the reciprocal
+``1/x`` of an n-bit unsigned integer ``x``, interpreted as the fraction
+``0.y1...yn`` (the integer value of ``y`` equals ``floor(2^n / x)`` for
+``INTDIV`` whenever that quotient fits in n bits).
+
+``intdiv_verilog(n)`` uses Verilog's integer division operator on
+``(n+1)``-bit operands exactly as described in the paper.
+
+``newton_verilog(n)`` implements the Newton-Raphson iteration on fixed-point
+numbers.  The paper uses the signed format ``Q3.w``; because every quantity
+in the algorithm is provably non-negative (the iterates converge to ``1/x'``
+from below, so ``1 - x'*x_i >= 0``), the generated Verilog uses unsigned
+arithmetic of the same widths.  Multiplications are performed at full
+product width (operands are zero-extended explicitly) and truncated exactly
+as the ``*_w`` operator of the paper prescribes.  Because the supported
+Verilog subset has no ``generate`` loops, the normalisation priority encoder
+and the Newton iterations are unrolled by this generator.
+
+``newton_reference`` / ``intdiv_reference`` provide bit-exact software
+models used by the test-suite and the equivalence checks of the flows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.utils.bitops import clog2
+
+__all__ = [
+    "intdiv_verilog",
+    "newton_verilog",
+    "intdiv_reference",
+    "newton_reference",
+    "newton_iterations",
+    "reciprocal_exact",
+]
+
+
+def reciprocal_exact(n: int, x: int) -> float:
+    """The real-valued reciprocal ``1/x`` scaled by ``2**n`` (for error checks)."""
+    if x <= 0:
+        raise ValueError("x must be positive")
+    return (1.0 / x) * (1 << n)
+
+
+def intdiv_reference(n: int, x: int) -> int:
+    """Reference model of ``INTDIV(n)``: ``floor(2^n / x)`` in n bits.
+
+    ``x = 0`` follows the division-by-zero convention of the front-end
+    (all-ones quotient), truncated to n bits.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    mask = (1 << n) - 1
+    if x == 0:
+        return mask
+    return ((1 << n) // x) & mask
+
+
+def newton_iterations(n: int) -> int:
+    """Number of Newton iterations used by ``NEWTON(n)`` (Section III.2)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return max(1, math.ceil(math.log2((n + 1) / math.log2(17))))
+
+
+def _round_div(numerator: int, denominator: int) -> int:
+    """Round-to-nearest integer division (used for the 48/17, 32/17 constants)."""
+    return (numerator + denominator // 2) // denominator
+
+
+def newton_reference(n: int, x: int) -> int:
+    """Bit-exact software model of the generated ``NEWTON(n)`` design.
+
+    The paper's algorithm uses signed ``Q3.w`` fixed-point numbers because
+    the residual ``1 - x'*x_i`` may become (slightly) negative with the
+    48/17 - 32/17*x' starting value.  The generated design keeps all
+    quantities unsigned by computing the magnitude of the residual and
+    conditionally adding or subtracting the correction term; this model
+    mirrors that implementation bit for bit.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    mask = (1 << n) - 1
+    x &= mask
+    # ``x = 0`` is mathematically undefined; the model simply follows the
+    # generated datapath (e = 0, x' = 0) so that it stays bit-exact.
+
+    width_q2 = 3 + 2 * n  # Q3.2n
+    q2_mask = (1 << width_q2) - 1
+
+    e = x.bit_length()
+    xp = (x << (n - e)) & ((1 << n) - 1)  # Q0.n, in [1/2, 1)
+
+    c48 = _round_div(48 << (2 * n), 17)  # Q3.2n constant 48/17
+    c32 = _round_div(32 << n, 17)  # Q3.n constant 32/17
+    one = 1 << (2 * n)  # Q3.2n constant 1.0
+
+    xi = (c48 - (c32 * xp)) & q2_mask
+    for _ in range(newton_iterations(n)):
+        scaled = (xp * xi) >> n  # x' * x_i in Q3.2n
+        if scaled > one:
+            magnitude = (scaled - one) & q2_mask
+            correction = (xi * magnitude) >> (2 * n)
+            xi = (xi - correction) & q2_mask
+        else:
+            magnitude = (one - scaled) & q2_mask
+            correction = (xi * magnitude) >> (2 * n)
+            xi = (xi + correction) & q2_mask
+
+    yp = xi >> e
+    return (yp >> n) & mask
+
+
+def intdiv_verilog(n: int, name: str = "intdiv") -> str:
+    """Verilog source of the ``INTDIV(n)`` design."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return f"""\
+// INTDIV({n}): n-bit reciprocal via Verilog's integer division operator.
+// y = floor(2^N / x) on (N+1)-bit unsigned operands, low N bits kept.
+module {name} #(parameter N = {n}) (
+    input  [N-1:0] x,
+    output [N-1:0] y
+);
+    wire [N:0] dividend = {{1'b1, {{N{{1'b0}}}}}};  // 2^N
+    wire [N:0] divisor  = {{1'b0, x}};
+    wire [N:0] quotient = dividend / divisor;
+    assign y = quotient[N-1:0];
+endmodule
+"""
+
+
+def _priority_encoder_expression(n: int) -> str:
+    """Unrolled priority encoder computing the bit length ``e`` of ``x``.
+
+    Built from the LSB upwards so that the final expression tests the most
+    significant bit first: ``x[n-1] ? n : (x[n-2] ? n-1 : ... (x[0] ? 1 : 0))``.
+    """
+    expression = "0"
+    for i in range(n):
+        expression = f"x[{i}] ? {i + 1} : ({expression})"
+    return expression
+
+
+def newton_verilog(n: int, name: str = "newton") -> str:
+    """Verilog source of the ``NEWTON(n)`` design (unrolled)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+
+    iterations = newton_iterations(n)
+    width_q2 = 3 + 2 * n
+    width_e = clog2(n + 1) + 1
+    width_p1 = 3 * n + 4  # xp (n bits) times xi (< 2^(2n+1)) fits in 3n+1 bits
+    width_p2 = 2 * width_q2 + 1  # product of two Q3.2n values
+
+    c48 = _round_div(48 << (2 * n), 17)
+    c32 = _round_div(32 << n, 17)
+    one = 1 << (2 * n)
+
+    lines: List[str] = []
+    lines.append(f"// NEWTON({n}): n-bit reciprocal via Newton-Raphson iteration")
+    lines.append(f"// on fixed-point numbers (Q3.{2 * n} internal precision,")
+    lines.append(f"// {iterations} iterations), as described in Section III.2 of the paper.")
+    lines.append(f"module {name} #(parameter N = {n}) (")
+    lines.append("    input  [N-1:0] x,")
+    lines.append("    output [N-1:0] y")
+    lines.append(");")
+    lines.append(f"    // bit length of x (priority encoder, e in [0, {n}])")
+    lines.append(
+        f"    wire [{width_e - 1}:0] e = {_priority_encoder_expression(n)};"
+    )
+    lines.append("    // normalised input x' = x / 2^e in [1/2, 1), Q0.N")
+    lines.append("    wire [N-1:0] xp = x << (N - e);")
+    lines.append("    // fixed-point constants")
+    lines.append(f"    wire [{width_q2 - 1}:0] c48 = {width_q2}'d{c48};  // Q3.2N round(48/17)")
+    lines.append(f"    wire [N+2:0] c32 = {n + 3}'d{c32};  // Q3.N round(32/17)")
+    lines.append(f"    wire [{width_q2 - 1}:0] one = {width_q2}'d{one};  // Q3.2N 1.0")
+    lines.append("    // initial estimate x0 = 48/17 - 32/17 * x'")
+    lines.append(f"    wire [{width_q2 - 1}:0] prod0 = c32 * xp;")
+    lines.append(f"    wire [{width_q2 - 1}:0] xi0 = c48 - prod0;")
+
+    for i in range(1, iterations + 1):
+        prev = f"xi{i - 1}"
+        lines.append(f"    // Newton iteration {i}: xi <- xi +/- xi * |1 - x'*xi|")
+        lines.append(f"    wire [{width_p1 - 1}:0] pa{i} = xp * {prev};")
+        lines.append(f"    wire [{width_q2 - 1}:0] sa{i} = pa{i} >> N;")
+        lines.append(f"    wire neg{i} = sa{i} > one;")
+        lines.append(
+            f"    wire [{width_q2 - 1}:0] t{i} = neg{i} ? (sa{i} - one) : (one - sa{i});"
+        )
+        lines.append(f"    wire [{width_p2 - 1}:0] pb{i} = {prev} * t{i};")
+        lines.append(f"    wire [{width_q2 - 1}:0] db{i} = pb{i} >> (2 * N);")
+        lines.append(
+            f"    wire [{width_q2 - 1}:0] xi{i} = neg{i} ? ({prev} - db{i}) : ({prev} + db{i});"
+        )
+
+    lines.append("    // denormalise and keep the N most significant fraction bits")
+    lines.append(f"    wire [{width_q2 - 1}:0] yp = xi{iterations} >> e;")
+    lines.append("    assign y = yp[2*N-1:N];")
+    lines.append("endmodule")
+    lines.append("")
+    return "\n".join(lines)

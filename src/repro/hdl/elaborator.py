@@ -1,0 +1,424 @@
+"""Elaboration: parsed Verilog module to word-level netlist.
+
+The elaborator resolves parameters, computes signal widths, checks that the
+design is purely combinational and acyclic, and lowers every expression into
+:class:`repro.hdl.netlist.WordNetlist` operations.
+
+Width and sign semantics
+------------------------
+
+The supported subset is unsigned-only.  Expression widths follow a
+documented simplification of the IEEE 1364 rules:
+
+* context-determined operators (``+ - * / % & | ^ ~ ?:`` and the left
+  operand of shifts) are evaluated at the maximum of their operands'
+  self-determined widths and the context width imposed by the assignment
+  target,
+* comparisons evaluate their operands at the maximum of the two operand
+  widths and produce one bit,
+* concatenations, replications, selects, reductions and shift amounts are
+  self-determined,
+* assignment targets truncate or zero-extend the right-hand side.
+
+These rules coincide with the standard for all expressions appearing in the
+``INTDIV``/``NEWTON`` designs (which widen operands explicitly wherever the
+full precision of a product or sum is needed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.hdl.ast import (
+    BinaryOp,
+    BitSelect,
+    Concat,
+    Expression,
+    Identifier,
+    Module,
+    Number,
+    PartSelect,
+    Repeat,
+    TernaryOp,
+    UnaryOp,
+)
+from repro.hdl.errors import ElaborationError
+from repro.hdl.netlist import WordNetlist
+
+__all__ = ["elaborate"]
+
+
+_DEFAULT_NUMBER_WIDTH = 32
+
+
+class _Elaborator:
+    def __init__(self, module: Module, parameter_overrides: Optional[Dict[str, int]] = None):
+        self.module = module
+        self.netlist = WordNetlist(module.name)
+        self.parameters: Dict[str, int] = {}
+        self.signal_widths: Dict[str, int] = {}
+        self.drivers: Dict[str, Expression] = {}
+        self.signal_values: Dict[str, int] = {}
+        self._in_progress: Set[str] = set()
+        self._overrides = dict(parameter_overrides or {})
+
+    # -- top level -------------------------------------------------------------
+
+    def run(self) -> WordNetlist:
+        self._resolve_parameters()
+        self._declare_signals()
+        self._collect_drivers()
+
+        for port in self.module.inputs():
+            self.signal_values[port.name] = self.netlist.add_input(
+                port.name, self.signal_widths[port.name]
+            )
+
+        for port in self.module.outputs():
+            value = self._signal_value(port.name)
+            self.netlist.add_output(port.name, value)
+        return self.netlist
+
+    # -- parameters -------------------------------------------------------------
+
+    def _resolve_parameters(self) -> None:
+        for declaration in self.module.parameters:
+            if declaration.name in self._overrides and not declaration.local:
+                self.parameters[declaration.name] = self._overrides[declaration.name]
+            else:
+                self.parameters[declaration.name] = self._const_eval(declaration.value)
+        unknown = set(self._overrides) - {
+            p.name for p in self.module.parameters if not p.local
+        }
+        if unknown:
+            raise ElaborationError(
+                f"unknown parameter override(s): {', '.join(sorted(unknown))}"
+            )
+
+    def _const_eval(self, expr: Expression) -> int:
+        if isinstance(expr, Number):
+            return expr.value
+        if isinstance(expr, Identifier):
+            if expr.name in self.parameters:
+                return self.parameters[expr.name]
+            raise ElaborationError(
+                f"identifier {expr.name!r} is not a constant parameter"
+            )
+        if isinstance(expr, UnaryOp):
+            value = self._const_eval(expr.operand)
+            if expr.op == "-":
+                return -value
+            if expr.op == "+":
+                return value
+            if expr.op == "~":
+                return ~value
+            if expr.op == "!":
+                return int(value == 0)
+            raise ElaborationError(f"unsupported constant unary operator {expr.op!r}")
+        if isinstance(expr, BinaryOp):
+            left = self._const_eval(expr.left)
+            right = self._const_eval(expr.right)
+            operators = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b,
+                "/": lambda a, b: a // b if b else 0,
+                "%": lambda a, b: a % b if b else 0,
+                "<<": lambda a, b: a << b,
+                ">>": lambda a, b: a >> b,
+                "<": lambda a, b: int(a < b),
+                "<=": lambda a, b: int(a <= b),
+                ">": lambda a, b: int(a > b),
+                ">=": lambda a, b: int(a >= b),
+                "==": lambda a, b: int(a == b),
+                "!=": lambda a, b: int(a != b),
+                "&": lambda a, b: a & b,
+                "|": lambda a, b: a | b,
+                "^": lambda a, b: a ^ b,
+                "&&": lambda a, b: int(bool(a) and bool(b)),
+                "||": lambda a, b: int(bool(a) or bool(b)),
+            }
+            if expr.op not in operators:
+                raise ElaborationError(
+                    f"unsupported constant binary operator {expr.op!r}"
+                )
+            return operators[expr.op](left, right)
+        if isinstance(expr, TernaryOp):
+            return (
+                self._const_eval(expr.if_true)
+                if self._const_eval(expr.condition)
+                else self._const_eval(expr.if_false)
+            )
+        raise ElaborationError(f"expression {expr} is not constant")
+
+    # -- signals -------------------------------------------------------------
+
+    def _range_width(self, declaration_name: str, rng) -> int:
+        if rng is None:
+            return 1
+        msb = self._const_eval(rng.msb)
+        lsb = self._const_eval(rng.lsb)
+        if lsb != 0:
+            raise ElaborationError(
+                f"signal {declaration_name!r}: only [msb:0] ranges are supported"
+            )
+        if msb < 0:
+            raise ElaborationError(f"signal {declaration_name!r} has negative msb")
+        return msb + 1
+
+    def _declare_signals(self) -> None:
+        for port in self.module.ports:
+            if port.direction not in ("input", "output"):
+                raise ElaborationError(
+                    f"port {port.name!r} has no direction declaration"
+                )
+            self.signal_widths[port.name] = self._range_width(port.name, port.range)
+        for net in self.module.nets:
+            if net.name in self.signal_widths:
+                raise ElaborationError(f"signal {net.name!r} declared twice")
+            self.signal_widths[net.name] = self._range_width(net.name, net.range)
+
+    def _collect_drivers(self) -> None:
+        for net in self.module.nets:
+            if net.value is not None:
+                self.drivers[net.name] = net.value
+        for assign in self.module.assigns:
+            target = assign.target
+            if not isinstance(target, Identifier):
+                raise ElaborationError(
+                    "only whole-identifier assignment targets are supported, "
+                    f"got {target}"
+                )
+            if target.name not in self.signal_widths:
+                raise ElaborationError(f"assignment to undeclared signal {target.name!r}")
+            if target.name in self.drivers:
+                raise ElaborationError(f"signal {target.name!r} has multiple drivers")
+            self.drivers[target.name] = assign.value
+        input_names = {p.name for p in self.module.inputs()}
+        driven_inputs = input_names & set(self.drivers)
+        if driven_inputs:
+            raise ElaborationError(
+                f"input port(s) may not be assigned: {', '.join(sorted(driven_inputs))}"
+            )
+
+    def _signal_value(self, name: str) -> int:
+        if name in self.signal_values:
+            return self.signal_values[name]
+        if name in self._in_progress:
+            raise ElaborationError(f"combinational cycle through signal {name!r}")
+        if name not in self.drivers:
+            raise ElaborationError(f"signal {name!r} is never assigned")
+        self._in_progress.add(name)
+        width = self.signal_widths[name]
+        value = self._elaborate(self.drivers[name], width)
+        value = self.netlist.add_resize(value, width)
+        self._in_progress.discard(name)
+        self.signal_values[name] = value
+        return value
+
+    # -- expression widths --------------------------------------------------------
+
+    def _self_width(self, expr: Expression) -> int:
+        if isinstance(expr, Number):
+            if expr.width is not None:
+                return expr.width
+            return max(_DEFAULT_NUMBER_WIDTH, max(1, expr.value.bit_length()))
+        if isinstance(expr, Identifier):
+            if expr.name in self.signal_widths:
+                return self.signal_widths[expr.name]
+            if expr.name in self.parameters:
+                value = self.parameters[expr.name]
+                return max(_DEFAULT_NUMBER_WIDTH, max(1, value.bit_length()))
+            raise ElaborationError(f"unknown identifier {expr.name!r}")
+        if isinstance(expr, UnaryOp):
+            if expr.op in ("&", "|", "^", "!"):
+                return 1
+            return self._self_width(expr.operand)
+        if isinstance(expr, BinaryOp):
+            if expr.op in ("==", "!=", "===", "!==", "<", "<=", ">", ">=", "&&", "||"):
+                return 1
+            if expr.op in ("<<", ">>", "<<<", ">>>"):
+                return self._self_width(expr.left)
+            return max(self._self_width(expr.left), self._self_width(expr.right))
+        if isinstance(expr, TernaryOp):
+            return max(self._self_width(expr.if_true), self._self_width(expr.if_false))
+        if isinstance(expr, Concat):
+            return sum(self._self_width(part) for part in expr.parts)
+        if isinstance(expr, Repeat):
+            count = self._const_eval(expr.count)
+            if count <= 0:
+                raise ElaborationError("replication count must be positive")
+            return count * self._self_width(expr.value)
+        if isinstance(expr, BitSelect):
+            return 1
+        if isinstance(expr, PartSelect):
+            msb = self._const_eval(expr.msb)
+            lsb = self._const_eval(expr.lsb)
+            if msb < lsb:
+                raise ElaborationError(f"part select [{msb}:{lsb}] has msb < lsb")
+            return msb - lsb + 1
+        raise ElaborationError(f"unsupported expression {expr!r}")
+
+    # -- expression elaboration ------------------------------------------------------
+
+    def _elaborate(self, expr: Expression, context: int) -> int:
+        """Lower ``expr`` to a netlist value of width ``max(self, context)``."""
+        net = self.netlist
+
+        if isinstance(expr, Number):
+            width = max(self._self_width(expr), context)
+            return net.add_const(expr.value, width)
+
+        if isinstance(expr, Identifier):
+            if expr.name in self.parameters:
+                width = max(self._self_width(expr), context)
+                return net.add_const(self.parameters[expr.name], width)
+            value = self._signal_value(expr.name)
+            return net.add_extend(value, max(net.width_of(value), context))
+
+        if isinstance(expr, UnaryOp):
+            return self._elaborate_unary(expr, context)
+
+        if isinstance(expr, BinaryOp):
+            return self._elaborate_binary(expr, context)
+
+        if isinstance(expr, TernaryOp):
+            width = max(self._self_width(expr), context)
+            condition = self._elaborate(expr.condition, 1)
+            if_true = net.add_resize(self._elaborate(expr.if_true, width), width)
+            if_false = net.add_resize(self._elaborate(expr.if_false, width), width)
+            return net.add_mux(condition, if_true, if_false)
+
+        if isinstance(expr, Concat):
+            parts = [self._elaborate(part, self._self_width(part)) for part in expr.parts]
+            parts = [
+                net.add_resize(value, self._self_width(part))
+                for value, part in zip(parts, expr.parts)
+            ]
+            result = net.add_concat(parts)
+            return net.add_extend(result, max(net.width_of(result), context))
+
+        if isinstance(expr, Repeat):
+            count = self._const_eval(expr.count)
+            width = self._self_width(expr.value)
+            value = net.add_resize(self._elaborate(expr.value, width), width)
+            result = net.add_concat([value] * count)
+            return net.add_extend(result, max(net.width_of(result), context))
+
+        if isinstance(expr, BitSelect):
+            return self._elaborate_bit_select(expr, context)
+
+        if isinstance(expr, PartSelect):
+            msb = self._const_eval(expr.msb)
+            lsb = self._const_eval(expr.lsb)
+            base = self._elaborate(expr.signal, self._self_width(expr.signal))
+            if msb >= self.netlist.width_of(base):
+                raise ElaborationError(
+                    f"part select [{msb}:{lsb}] exceeds width of {expr.signal}"
+                )
+            result = net.add_slice(base, lsb, msb - lsb + 1)
+            return net.add_extend(result, max(net.width_of(result), context))
+
+        raise ElaborationError(f"unsupported expression {expr!r}")
+
+    def _elaborate_unary(self, expr: UnaryOp, context: int) -> int:
+        net = self.netlist
+        if expr.op in ("~", "-", "+"):
+            width = max(self._self_width(expr.operand), context)
+            operand = net.add_resize(self._elaborate(expr.operand, width), width)
+            if expr.op == "~":
+                return net.add_unary("not", operand)
+            if expr.op == "-":
+                return net.add_unary("neg", operand)
+            return operand
+        # Reductions and logical not are self-determined, 1-bit results.
+        operand = self._elaborate(expr.operand, self._self_width(expr.operand))
+        kinds = {"&": "reduce_and", "|": "reduce_or", "^": "reduce_xor", "!": "logic_not"}
+        if expr.op not in kinds:
+            raise ElaborationError(f"unsupported unary operator {expr.op!r}")
+        result = net.add_unary(kinds[expr.op], operand)
+        return net.add_extend(result, max(1, context))
+
+    def _elaborate_binary(self, expr: BinaryOp, context: int) -> int:
+        net = self.netlist
+        op = expr.op
+
+        if op in ("&&", "||"):
+            left = self._elaborate(expr.left, self._self_width(expr.left))
+            right = self._elaborate(expr.right, self._self_width(expr.right))
+            kind = "logic_and" if op == "&&" else "logic_or"
+            result = net.add_logic_binary(kind, left, right)
+            return net.add_extend(result, max(1, context))
+
+        if op in ("==", "!=", "===", "!==", "<", "<=", ">", ">="):
+            width = max(self._self_width(expr.left), self._self_width(expr.right))
+            left = net.add_resize(self._elaborate(expr.left, width), width)
+            right = net.add_resize(self._elaborate(expr.right, width), width)
+            kinds = {
+                "==": "eq",
+                "===": "eq",
+                "!=": "ne",
+                "!==": "ne",
+                "<": "lt",
+                "<=": "le",
+                ">": "gt",
+                ">=": "ge",
+            }
+            result = net.add_binary(kinds[op], left, right)
+            return net.add_extend(result, max(1, context))
+
+        if op in ("<<", ">>", "<<<", ">>>"):
+            width = max(self._self_width(expr.left), context)
+            left = net.add_resize(self._elaborate(expr.left, width), width)
+            right = self._elaborate(expr.right, self._self_width(expr.right))
+            kind = "shl" if op in ("<<", "<<<") else "shr"
+            return net.add_binary(kind, left, right)
+
+        if op in ("+", "-", "*", "/", "%", "&", "|", "^", "~^", "^~"):
+            width = max(self._self_width(expr), context)
+            left = net.add_resize(self._elaborate(expr.left, width), width)
+            right = net.add_resize(self._elaborate(expr.right, width), width)
+            if op in ("~^", "^~"):
+                return net.add_unary("not", net.add_binary("xor", left, right))
+            kinds = {
+                "+": "add",
+                "-": "sub",
+                "*": "mul",
+                "/": "div",
+                "%": "mod",
+                "&": "and",
+                "|": "or",
+                "^": "xor",
+            }
+            return net.add_binary(kinds[op], left, right)
+
+        raise ElaborationError(f"unsupported binary operator {op!r}")
+
+    def _elaborate_bit_select(self, expr: BitSelect, context: int) -> int:
+        net = self.netlist
+        base = self._elaborate(expr.signal, self._self_width(expr.signal))
+        try:
+            index = self._const_eval(expr.index)
+        except ElaborationError:
+            index = None
+        if index is not None:
+            if index >= net.width_of(base):
+                raise ElaborationError(
+                    f"bit select index {index} exceeds width of {expr.signal}"
+                )
+            result = net.add_slice(base, index, 1)
+        else:
+            index_value = self._elaborate(expr.index, self._self_width(expr.index))
+            result = net.add_dynamic_bit(base, index_value)
+        return net.add_extend(result, max(1, context))
+
+
+def elaborate(
+    module: Module, parameters: Optional[Dict[str, int]] = None
+) -> WordNetlist:
+    """Elaborate a parsed module into a word-level netlist.
+
+    ``parameters`` optionally overrides non-local module parameters (the
+    equivalent of instantiating the module with ``#(.N(16))``).
+    """
+    return _Elaborator(module, parameters).run()

@@ -1,0 +1,137 @@
+"""The inverse square root ``1/sqrt(x)`` design (the paper's "future work").
+
+Section IV of the paper points out that functions such as ``1/sqrt(x)`` or
+trigonometric functions cannot be expressed with a single Verilog operator
+(as ``INTDIV`` is) and therefore need a ``NEWTON``-style iterative design;
+Section VI lists them as the natural next targets of the flows.  This module
+implements that next target: an ``ISQRT(n)`` design built exactly like
+``NEWTON(n)`` — normalisation, a linear initial guess and Newton–Raphson
+iterations on fixed-point numbers — so that all three flows can be exercised
+on a second non-trivial arithmetic function.
+
+The iteration for ``y -> 1/sqrt(x')`` is ``y := y * (3 - x' * y^2) / 2``.
+With the normalisation ``x' in [1/4, 1)`` and the initial guess
+``y0 = 2 - x'``, every intermediate quantity is provably non-negative, so
+the generated Verilog stays unsigned (same argument as for ``NEWTON``, see
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.utils.bitops import clog2
+
+__all__ = [
+    "isqrt_verilog",
+    "isqrt_reference",
+    "isqrt_iterations",
+    "isqrt_exact",
+]
+
+
+def isqrt_iterations(n: int) -> int:
+    """Number of Newton iterations used by ``ISQRT(n)``.
+
+    The linear initial guess carries a relative error of up to ~20 %, so on
+    top of the quadratic convergence a small additive margin is used.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return max(2, math.ceil(math.log2(n + 1)) + 2)
+
+
+def isqrt_exact(n: int, x: int) -> float:
+    """The real-valued ``1/sqrt(x)`` scaled by ``2**n`` (for error checks)."""
+    if x <= 0:
+        raise ValueError("x must be positive")
+    return (1.0 / math.sqrt(x)) * (1 << n)
+
+
+def isqrt_reference(n: int, x: int) -> int:
+    """Bit-exact software model of the generated ``ISQRT(n)`` design."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    mask = (1 << n) - 1
+    x &= mask
+    # x = 0 is undefined; the model follows the datapath (e = 0).
+
+    w2 = 2 * n
+    width_q2 = 3 + w2
+    q2_mask = (1 << width_q2) - 1
+
+    e = x.bit_length()
+    k = (e + 1) // 2
+    xp = (x << (w2 - 2 * k)) & ((1 << w2) - 1) if x else 0
+
+    two = 2 << w2
+    three = 3 << w2
+
+    y = (two - xp) & q2_mask
+    for _ in range(isqrt_iterations(n)):
+        # The masks mirror the declared wire widths of the generated Verilog
+        # (they only matter for the undefined x = 0 corner case).
+        y_squared = ((y * y) >> w2) & q2_mask
+        q = ((xp * y_squared) >> w2) & q2_mask
+        t = (three - q) & q2_mask
+        y = ((y * t) >> (w2 + 1)) & q2_mask
+
+    yk = y >> k
+    return (yk >> n) & mask
+
+
+def isqrt_verilog(n: int, name: str = "isqrt") -> str:
+    """Verilog source of the ``ISQRT(n)`` design (unrolled)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+
+    iterations = isqrt_iterations(n)
+    w2 = 2 * n
+    width_q2 = 3 + w2
+    width_e = clog2(n + 1) + 1
+    width_sq = 2 * width_q2 + 1   # y * y
+    width_q = width_q2 + w2 + 1   # xp * y_squared
+    width_p = 2 * width_q2 + 1    # y * t
+
+    two = 2 << w2
+    three = 3 << w2
+
+    lines: List[str] = []
+    lines.append(f"// ISQRT({n}): n-bit inverse square root via Newton-Raphson")
+    lines.append(f"// iteration y := y*(3 - x'*y^2)/2 on Q3.{w2} fixed-point numbers")
+    lines.append(f"// ({iterations} iterations).  Companion design to NEWTON({n}).")
+    lines.append(f"module {name} #(parameter N = {n}) (")
+    lines.append("    input  [N-1:0] x,")
+    lines.append("    output [N-1:0] y")
+    lines.append(");")
+    # Priority encoder for the bit length of x.
+    expression = "0"
+    for i in range(n):
+        expression = f"x[{i}] ? {i + 1} : ({expression})"
+    lines.append(f"    wire [{width_e - 1}:0] e = {expression};")
+    lines.append("    // even normalisation exponent: x' = x / 2^(2k) in [1/4, 1)")
+    lines.append(f"    wire [{width_e - 1}:0] k = (e + 1) >> 1;")
+    lines.append(f"    wire [{w2 - 1}:0] xp = x << (2 * N - (k << 1));")
+    lines.append(f"    wire [{width_q2 - 1}:0] two = {width_q2}'d{two};")
+    lines.append(f"    wire [{width_q2 - 1}:0] three = {width_q2}'d{three};")
+    lines.append("    // initial guess y0 = 2 - x'")
+    lines.append(f"    wire [{width_q2 - 1}:0] y0 = two - xp;")
+
+    for i in range(1, iterations + 1):
+        prev = f"y{i - 1}"
+        lines.append(f"    // Newton iteration {i}")
+        lines.append(f"    wire [{width_sq - 1}:0] sq{i} = {prev} * {prev};")
+        lines.append(f"    wire [{width_q2 - 1}:0] ys{i} = sq{i} >> (2 * N);")
+        lines.append(f"    wire [{width_q - 1}:0] qp{i} = xp * ys{i};")
+        lines.append(f"    wire [{width_q2 - 1}:0] q{i} = qp{i} >> (2 * N);")
+        lines.append(f"    wire [{width_q2 - 1}:0] t{i} = three - q{i};")
+        lines.append(f"    wire [{width_p - 1}:0] pr{i} = {prev} * t{i};")
+        lines.append(f"    wire [{width_q2 - 1}:0] y{i} = pr{i} >> (2 * N + 1);")
+
+    lines.append("    // denormalise by 2^-k and keep the N most significant fraction bits")
+    lines.append(f"    wire [{width_q2 - 1}:0] yk = y{iterations} >> k;")
+    lines.append("    assign y = yk[2*N-1:N];")
+    lines.append("endmodule")
+    lines.append("")
+    return "\n".join(lines)

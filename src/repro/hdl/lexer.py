@@ -1,0 +1,192 @@
+"""Tokeniser for the supported Verilog subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.hdl.errors import LexerError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+
+KEYWORDS = {
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "inout",
+    "wire",
+    "assign",
+    "parameter",
+    "localparam",
+    "begin",
+    "end",
+}
+
+# Multi-character operators, longest first so that maximal munch works.
+_OPERATORS = [
+    "<<<",
+    ">>>",
+    "===",
+    "!==",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "~^",
+    "^~",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+    "?",
+    ":",
+    "=",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ";",
+    "#",
+    ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token."""
+
+    kind: str  # "keyword" | "ident" | "number" | "op" | "eof"
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise Verilog source text into a list of tokens (EOF-terminated)."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> LexerError:
+        return LexerError(message, line, column)
+
+    while index < length:
+        char = source[index]
+
+        # Whitespace.
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+
+        # Comments.
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end == -1:
+                raise error("unterminated block comment")
+            skipped = source[index : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            index = end + 2
+            continue
+
+        # Numbers (optionally sized/base-prefixed, e.g. 8'b1010_1 or 'd42).
+        if char.isdigit() or (char == "'" and index + 1 < length):
+            start = index
+            start_column = column
+            while index < length and (source[index].isdigit() or source[index] == "_"):
+                index += 1
+                column += 1
+            if index < length and source[index] == "'":
+                index += 1
+                column += 1
+                if index < length and source[index] in "sS":
+                    index += 1
+                    column += 1
+                if index >= length or source[index] not in "bBoOdDhH":
+                    raise error("invalid number base")
+                index += 1
+                column += 1
+                while index < length and (
+                    source[index].isalnum() or source[index] == "_"
+                ):
+                    index += 1
+                    column += 1
+            text = source[start:index]
+            tokens.append(Token("number", text, line, start_column))
+            continue
+
+        # Identifiers and keywords.
+        if char.isalpha() or char == "_" or char == "\\":
+            start = index
+            start_column = column
+            if char == "\\":  # escaped identifier: up to whitespace
+                index += 1
+                column += 1
+                while index < length and not source[index].isspace():
+                    index += 1
+                    column += 1
+                text = source[start + 1 : index]
+                tokens.append(Token("ident", text, line, start_column))
+                continue
+            while index < length and (source[index].isalnum() or source[index] in "_$"):
+                index += 1
+                column += 1
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, start_column))
+            continue
+
+        # Operators and punctuation.
+        matched: Optional[str] = None
+        for op in _OPERATORS:
+            if source.startswith(op, index):
+                matched = op
+                break
+        if matched is None:
+            raise error(f"unexpected character {char!r}")
+        tokens.append(Token("op", matched, line, column))
+        index += len(matched)
+        column += len(matched)
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens
+
+
+def iter_tokens(source: str) -> Iterator[Token]:
+    """Convenience iterator over :func:`tokenize`."""
+    return iter(tokenize(source))

@@ -1,0 +1,45 @@
+"""Convenience wrappers: Verilog source straight to an and-inverter graph."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.hdl.bitblast import bitblast
+from repro.hdl.designs import intdiv_verilog, newton_verilog
+from repro.hdl.elaborator import elaborate
+from repro.hdl.netlist import WordNetlist
+from repro.hdl.parser import parse_verilog
+from repro.logic.aig import Aig
+
+__all__ = ["synthesize_verilog", "synthesize_to_netlist", "synthesize_reciprocal_design"]
+
+
+def synthesize_to_netlist(
+    source: str, parameters: Optional[Dict[str, int]] = None
+) -> WordNetlist:
+    """Parse and elaborate Verilog source into a word-level netlist."""
+    module = parse_verilog(source)
+    return elaborate(module, parameters)
+
+
+def synthesize_verilog(
+    source: str, parameters: Optional[Dict[str, int]] = None
+) -> Aig:
+    """Parse, elaborate and bit-blast Verilog source into an AIG."""
+    return bitblast(synthesize_to_netlist(source, parameters))
+
+
+def synthesize_reciprocal_design(design: str, n: int) -> Tuple[str, Aig]:
+    """Generate and synthesise one of the paper's reciprocal designs.
+
+    ``design`` is ``"intdiv"`` or ``"newton"``; returns the generated Verilog
+    source together with the bit-blasted AIG.
+    """
+    design = design.lower()
+    if design == "intdiv":
+        source = intdiv_verilog(n)
+    elif design == "newton":
+        source = newton_verilog(n)
+    else:
+        raise ValueError(f"unknown design {design!r} (expected 'intdiv' or 'newton')")
+    return source, synthesize_verilog(source)

@@ -1,0 +1,28 @@
+"""Interchange formats: AIGER, PLA, RevLib REAL and OpenQASM.
+
+The paper's flows exchange data between ABC, CirKit, RevKit and REVS through
+files; this sub-package provides the corresponding readers/writers so that
+circuits produced by this library can be inspected with (or imported from)
+the standard academic tools:
+
+* :mod:`repro.io.aiger`   — combinational ASCII AIGER (``.aag``) for AIGs,
+* :mod:`repro.io.pla`     — Berkeley PLA files for SOP/ESOP covers
+  (``.type fr`` marks an ESOP, as accepted by ABC and exorcism),
+* :mod:`repro.io.realfmt` — RevLib ``.real`` files for reversible circuits,
+* :mod:`repro.io.qasm`    — OpenQASM 2.0 for the Clifford+T level.
+"""
+
+from repro.io.aiger import read_aiger, write_aiger
+from repro.io.pla import read_pla, write_pla
+from repro.io.qasm import write_qasm
+from repro.io.realfmt import read_real, write_real
+
+__all__ = [
+    "read_aiger",
+    "read_pla",
+    "read_real",
+    "write_aiger",
+    "write_pla",
+    "write_qasm",
+    "write_real",
+]

@@ -1,0 +1,117 @@
+"""Berkeley PLA reader and writer for two-level covers.
+
+The ESOP flow of the paper exchanges two-level covers between ABC and REVS
+as PLA files.  The writer emits the usual espresso dialect:
+
+* ``.i`` / ``.o`` — input and output counts,
+* ``.ilb`` / ``.ob`` — optional signal names,
+* ``.type fr`` — marks an exclusive (ESOP) cover, ``.type f`` an inclusive
+  (SOP) one,
+* one line per product term: input part over ``{0,1,-}``, output part over
+  ``{0,1}``.
+
+The reader accepts the same subset.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.logic.cube import Cube
+from repro.logic.esop import EsopCover, EsopTerm
+
+__all__ = ["write_pla", "read_pla"]
+
+
+def write_pla(
+    cover: EsopCover,
+    input_names: Optional[Sequence[str]] = None,
+    output_names: Optional[Sequence[str]] = None,
+    exclusive: bool = True,
+) -> str:
+    """Serialise a cover into PLA text (``.type fr`` for ESOP semantics)."""
+    lines = [f".i {cover.num_inputs}", f".o {cover.num_outputs}"]
+    if input_names is not None:
+        if len(input_names) != cover.num_inputs:
+            raise ValueError("input_names length mismatch")
+        lines.append(".ilb " + " ".join(input_names))
+    if output_names is not None:
+        if len(output_names) != cover.num_outputs:
+            raise ValueError("output_names length mismatch")
+        lines.append(".ob " + " ".join(output_names))
+    lines.append(f".type {'fr' if exclusive else 'f'}")
+    lines.append(f".p {cover.num_terms()}")
+    for term in cover.terms:
+        output_part = "".join(
+            "1" if (term.outputs >> j) & 1 else "0" for j in range(cover.num_outputs)
+        )
+        lines.append(f"{term.cube.to_string()} {output_part}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+def read_pla(text: str) -> EsopCover:
+    """Parse PLA text into an :class:`~repro.logic.esop.EsopCover`.
+
+    The cover is returned with ESOP semantics; files declaring ``.type f``
+    are accepted only when their product terms are pairwise disjoint (then
+    OR and XOR semantics coincide).
+    """
+    num_inputs: Optional[int] = None
+    num_outputs: Optional[int] = None
+    exclusive = True
+    terms: List[EsopTerm] = []
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            fields = line.split()
+            directive = fields[0]
+            if directive == ".i":
+                num_inputs = int(fields[1])
+            elif directive == ".o":
+                num_outputs = int(fields[1])
+            elif directive == ".type":
+                exclusive = fields[1] in ("fr", "esop")
+            elif directive in (".p", ".ilb", ".ob", ".e"):
+                continue
+            else:
+                raise ValueError(f"unsupported PLA directive {directive!r}")
+            continue
+
+        if num_inputs is None or num_outputs is None:
+            raise ValueError("product term before .i/.o declaration")
+        fields = line.split()
+        if len(fields) != 2:
+            raise ValueError(f"malformed PLA term {line!r}")
+        input_part, output_part = fields
+        if len(input_part) != num_inputs or len(output_part) != num_outputs:
+            raise ValueError(f"term {line!r} does not match declared sizes")
+        cube = Cube.from_string(input_part)
+        outputs = 0
+        for j, char in enumerate(output_part):
+            if char == "1":
+                outputs |= 1 << j
+            elif char not in "0~":
+                raise ValueError(f"invalid output character {char!r}")
+        if outputs:
+            terms.append(EsopTerm(cube, outputs))
+
+    if num_inputs is None or num_outputs is None:
+        raise ValueError("PLA file misses .i/.o declarations")
+
+    cover = EsopCover(num_inputs, num_outputs, terms)
+    if not exclusive:
+        _check_disjoint(cover)
+    return cover
+
+
+def _check_disjoint(cover: EsopCover) -> None:
+    for i, first in enumerate(cover.terms):
+        for second in cover.terms[i + 1 :]:
+            if first.outputs & second.outputs and first.cube.intersects(second.cube):
+                raise ValueError(
+                    "SOP cover with overlapping terms cannot be interpreted as ESOP"
+                )

@@ -1,0 +1,44 @@
+"""OpenQASM 2.0 writer for Clifford+T circuits.
+
+The quantum level of the flow can be exported to OpenQASM 2.0, the common
+interchange format of Qiskit and friends, so that the circuits produced by
+this reproduction can be simulated or transpiled elsewhere.  Only a writer
+is provided (reading arbitrary QASM is outside the scope of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.quantum.circuit import QuantumCircuit
+
+__all__ = ["write_qasm"]
+
+
+_QASM_NAMES: Dict[str, str] = {
+    "x": "x",
+    "z": "z",
+    "h": "h",
+    "s": "s",
+    "sdg": "sdg",
+    "t": "t",
+    "tdg": "tdg",
+    "cx": "cx",
+    "cz": "cz",
+}
+
+
+def write_qasm(circuit: QuantumCircuit, register: str = "q") -> str:
+    """Serialise a Clifford+T circuit into OpenQASM 2.0 text."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg {register}[{circuit.num_qubits}];",
+    ]
+    for gate in circuit.gates():
+        name = _QASM_NAMES.get(gate.name)
+        if name is None:  # pragma: no cover - all supported gates are mapped
+            raise ValueError(f"gate {gate.name!r} has no QASM equivalent")
+        operands = ", ".join(f"{register}[{qubit}]" for qubit in gate.qubits)
+        lines.append(f"{name} {operands};")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,107 @@
+"""Combinational equivalence checking (the ABC ``cec`` analogue).
+
+The paper verifies every synthesised reversible circuit against the original
+design with ABC's equivalence checker.  We provide the same safety net:
+
+* exhaustive checking (complete) for designs with a moderate number of
+  inputs, via bit-parallel truth-table simulation,
+* random simulation (falsification only) for larger designs,
+* BDD-based checking as an orthogonal complete method for medium designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.logic.aig import Aig
+from repro.logic.collapse import collapse_to_bdd
+from repro.logic.truth_table import TruthTable
+
+__all__ = ["CecResult", "check_equivalence", "check_against_truth_table"]
+
+
+@dataclass(frozen=True)
+class CecResult:
+    """Outcome of an equivalence check."""
+
+    equivalent: bool
+    complete: bool
+    counterexample: Optional[int] = None
+    method: str = "exhaustive"
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def _check_interfaces(a: Aig, b: Aig) -> None:
+    if a.num_pis() != b.num_pis():
+        raise ValueError(
+            f"input counts differ: {a.num_pis()} vs {b.num_pis()}"
+        )
+    if a.num_pos() != b.num_pos():
+        raise ValueError(
+            f"output counts differ: {a.num_pos()} vs {b.num_pos()}"
+        )
+
+
+def check_equivalence(
+    a: Aig,
+    b: Aig,
+    exhaustive_limit: int = 16,
+    num_random_patterns: int = 4096,
+    method: str = "auto",
+    seed: int = 1,
+) -> CecResult:
+    """Check whether two AIGs implement the same multi-output function.
+
+    ``method`` is ``"auto"`` (exhaustive if the input count allows it,
+    random simulation otherwise), ``"exhaustive"``, ``"random"`` or
+    ``"bdd"``.
+    """
+    _check_interfaces(a, b)
+    if method == "auto":
+        method = "exhaustive" if a.num_pis() <= exhaustive_limit else "random"
+
+    if method == "exhaustive":
+        table_a = a.to_truth_table()
+        table_b = b.to_truth_table()
+        if table_a == table_b:
+            return CecResult(True, True, None, "exhaustive")
+        diff = np.nonzero(table_a.words != table_b.words)[0]
+        return CecResult(False, True, int(diff[0]), "exhaustive")
+
+    if method == "bdd":
+        manager_a, roots_a = collapse_to_bdd(a)
+        manager_b, roots_b = collapse_to_bdd(b)
+        for root_a, root_b in zip(roots_a, roots_b):
+            # Compare by re-expanding output columns in manager_a's order
+            # (both managers use PI order, which coincides by construction).
+            if manager_a.to_truth_table(root_a) != manager_b.to_truth_table(root_b):
+                return CecResult(False, True, None, "bdd")
+        return CecResult(True, True, None, "bdd")
+
+    if method == "random":
+        outputs_a = a.simulate_random(num_random_patterns, seed=seed)
+        outputs_b = b.simulate_random(num_random_patterns, seed=seed)
+        for word_a, word_b in zip(outputs_a, outputs_b):
+            if word_a != word_b:
+                diff = word_a ^ word_b
+                pattern_index = (diff & -diff).bit_length() - 1
+                return CecResult(False, False, pattern_index, "random")
+        return CecResult(True, False, None, "random")
+
+    raise ValueError(f"unknown equivalence checking method {method!r}")
+
+
+def check_against_truth_table(aig: Aig, table: TruthTable) -> CecResult:
+    """Exhaustively compare an AIG against an explicit truth table."""
+    if aig.num_pis() != table.num_inputs or aig.num_pos() != table.num_outputs:
+        raise ValueError("interface mismatch between AIG and truth table")
+    aig_table = aig.to_truth_table()
+    if aig_table == table:
+        return CecResult(True, True, None, "exhaustive")
+    diff = np.nonzero(aig_table.words != table.words)[0]
+    return CecResult(False, True, int(diff[0]), "exhaustive")

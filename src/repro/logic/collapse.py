@@ -1,0 +1,71 @@
+"""Collapsing multi-level networks into two-level / functional representations.
+
+This corresponds to ABC's ``collapse`` (AIG to BDD, used by the symbolic
+functional flow) and to the truth-table expansion used for embedding and
+verification of small designs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.logic.aig import Aig, lit_is_compl, lit_node
+from repro.logic.bdd import BddManager
+from repro.logic.esop import EsopCover, esop_from_columns, minimize_esop
+from repro.logic.truth_table import TruthTable
+
+__all__ = [
+    "collapse_to_bdd",
+    "collapse_to_truth_table",
+    "collapse_to_esop",
+    "bdd_to_truth_table",
+]
+
+
+def collapse_to_bdd(aig: Aig) -> Tuple[BddManager, List[int]]:
+    """Collapse an AIG into one BDD per primary output.
+
+    Returns the manager and the list of root handles (one per PO, in PO
+    order).  The BDD variable order follows the primary input order of the
+    AIG.
+    """
+    manager = BddManager(aig.num_pis(), aig.pi_names())
+    values = {0: manager.false()}
+    for i, pi in enumerate(aig.pis()):
+        values[lit_node(pi)] = manager.variable(i)
+
+    def lit_bdd(lit: int) -> int:
+        node = values[lit_node(lit)]
+        return manager.apply_not(node) if lit_is_compl(lit) else node
+
+    for node in aig.nodes():
+        if aig.is_and(node):
+            f0, f1 = aig.fanins(node)
+            values[node] = manager.apply_and(lit_bdd(f0), lit_bdd(f1))
+
+    roots = [lit_bdd(po) for po in aig.pos()]
+    return manager, roots
+
+
+def bdd_to_truth_table(manager: BddManager, roots: List[int]) -> TruthTable:
+    """Expand a list of BDD roots into an explicit multi-output truth table."""
+    columns = [manager.to_truth_table(root) for root in roots]
+    return TruthTable.from_columns(columns, manager.num_vars)
+
+
+def collapse_to_truth_table(aig: Aig) -> TruthTable:
+    """Expand an AIG into an explicit multi-output truth table."""
+    return aig.to_truth_table()
+
+
+def collapse_to_esop(aig: Aig, minimize: bool = True) -> EsopCover:
+    """Collapse an AIG into a multi-output ESOP cover.
+
+    This is the ``&exorcism`` analogue used by the ESOP-based flow: the AIG
+    outputs are expanded to truth tables, a PSDKRO cover is extracted and
+    (optionally) minimised with exorcism-style cube merging.
+    """
+    cover = esop_from_columns(aig.output_columns(), aig.num_pis())
+    if minimize:
+        cover = minimize_esop(cover)
+    return cover

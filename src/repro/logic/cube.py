@@ -1,0 +1,226 @@
+"""Cubes (product terms) over a fixed variable set.
+
+A cube is a conjunction of literals.  It is stored as two bit masks:
+
+* ``care`` — the variables that appear in the cube,
+* ``polarity`` — for each caring variable, 1 if the literal is positive.
+
+Bits of ``polarity`` outside ``care`` are kept at zero so that cubes compare
+and hash canonically.  Cubes are value objects (immutable).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.utils.bitops import popcount
+
+__all__ = ["Cube"]
+
+
+class Cube:
+    """A product term over ``num_vars`` Boolean variables."""
+
+    __slots__ = ("num_vars", "care", "polarity")
+
+    def __init__(self, num_vars: int, care: int, polarity: int):
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        mask = (1 << num_vars) - 1
+        if care & ~mask:
+            raise ValueError("care mask has bits outside the variable range")
+        self.num_vars = num_vars
+        self.care = care
+        self.polarity = polarity & care
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def tautology(cls, num_vars: int) -> "Cube":
+        """The empty product term (constant 1)."""
+        return cls(num_vars, 0, 0)
+
+    @classmethod
+    def minterm(cls, num_vars: int, assignment: int) -> "Cube":
+        """The cube containing exactly one minterm."""
+        mask = (1 << num_vars) - 1
+        return cls(num_vars, mask, assignment & mask)
+
+    @classmethod
+    def from_literals(cls, num_vars: int, literals: List[Tuple[int, bool]]) -> "Cube":
+        """Build a cube from ``(variable, positive)`` pairs."""
+        care = 0
+        polarity = 0
+        for var, positive in literals:
+            if not 0 <= var < num_vars:
+                raise ValueError(f"variable {var} out of range")
+            if care & (1 << var):
+                raise ValueError(f"variable {var} appears twice in the cube")
+            care |= 1 << var
+            if positive:
+                polarity |= 1 << var
+        return cls(num_vars, care, polarity)
+
+    @classmethod
+    def from_string(cls, pattern: str) -> "Cube":
+        """Parse a PLA-style cube string, e.g. ``"1-0"``.
+
+        Character 0 of the string is variable 0.  ``1`` is a positive
+        literal, ``0`` a negative literal and ``-`` means the variable does
+        not appear.
+        """
+        care = 0
+        polarity = 0
+        for var, char in enumerate(pattern):
+            if char == "1":
+                care |= 1 << var
+                polarity |= 1 << var
+            elif char == "0":
+                care |= 1 << var
+            elif char != "-":
+                raise ValueError(f"invalid cube character {char!r}")
+        return cls(len(pattern), care, polarity)
+
+    # -- queries ------------------------------------------------------------
+
+    def num_literals(self) -> int:
+        """Number of literals in the product term."""
+        return popcount(self.care)
+
+    def literals(self) -> List[Tuple[int, bool]]:
+        """List of ``(variable, positive)`` pairs in ascending variable order."""
+        result = []
+        for var in range(self.num_vars):
+            if (self.care >> var) & 1:
+                result.append((var, bool((self.polarity >> var) & 1)))
+        return result
+
+    def evaluate(self, minterm: int) -> bool:
+        """Value of the cube on an input assignment."""
+        return (minterm & self.care) == self.polarity
+
+    def minterms(self) -> Iterator[int]:
+        """Iterate over all minterms covered by the cube."""
+        free = [v for v in range(self.num_vars) if not (self.care >> v) & 1]
+        for combo in range(1 << len(free)):
+            value = self.polarity
+            for i, var in enumerate(free):
+                if (combo >> i) & 1:
+                    value |= 1 << var
+            yield value
+
+    def num_minterms(self) -> int:
+        """Number of minterms covered by the cube."""
+        return 1 << (self.num_vars - self.num_literals())
+
+    def truth_table(self) -> int:
+        """Single-output integer truth table of the cube."""
+        result = 0
+        for minterm in self.minterms():
+            result |= 1 << minterm
+        return result
+
+    def distance(self, other: "Cube") -> int:
+        """Exorcism distance between two cubes.
+
+        The distance counts the variables in which the cubes differ: either
+        the variable appears in only one of them, or it appears in both with
+        opposite polarity.
+        """
+        self._check_compatible(other)
+        differ_care = self.care ^ other.care
+        differ_pol = (self.polarity ^ other.polarity) & self.care & other.care
+        return popcount(differ_care | differ_pol)
+
+    def intersects(self, other: "Cube") -> bool:
+        """True if the two cubes share at least one minterm."""
+        self._check_compatible(other)
+        common = self.care & other.care
+        return (self.polarity & common) == (other.polarity & common)
+
+    def contains(self, other: "Cube") -> bool:
+        """True if every minterm of ``other`` is covered by ``self``."""
+        self._check_compatible(other)
+        if self.care & ~other.care:
+            return False
+        return (other.polarity & self.care) == self.polarity
+
+    # -- transformations ----------------------------------------------------
+
+    def with_literal(self, var: int, positive: bool) -> "Cube":
+        """Return a copy with an additional (or overwritten) literal."""
+        if not 0 <= var < self.num_vars:
+            raise ValueError(f"variable {var} out of range")
+        care = self.care | (1 << var)
+        polarity = self.polarity & ~(1 << var)
+        if positive:
+            polarity |= 1 << var
+        return Cube(self.num_vars, care, polarity)
+
+    def without_variable(self, var: int) -> "Cube":
+        """Return a copy with the literal of ``var`` removed (if present)."""
+        care = self.care & ~(1 << var)
+        return Cube(self.num_vars, care, self.polarity & care)
+
+    def merge_distance_one(self, other: "Cube") -> Optional["Cube"]:
+        """Combine two cubes at exorcism distance 1 into a single cube.
+
+        For XOR covers two cubes with distance 1 can always be replaced by a
+        single cube: if the differing variable appears in both with opposite
+        polarity the literal is dropped; if it appears in only one cube the
+        polarity of that literal is flipped in the cube where it appears and
+        the other cube is absorbed.  Returns ``None`` when the distance is
+        not 1.
+        """
+        if self.distance(other) != 1:
+            return None
+        differ_care = self.care ^ other.care
+        differ_pol = (self.polarity ^ other.polarity) & self.care & other.care
+        if differ_pol:
+            # Same variables, opposite polarity in exactly one variable:
+            # a x + a x' = a  (here: a x (+) a x' = a).
+            var_bit = differ_pol
+            return Cube(self.num_vars, self.care & ~var_bit, self.polarity & ~var_bit)
+        # The variable appears in exactly one cube.  W.l.o.g. let it appear in
+        # ``self``: then  a x (+) a = a x'.
+        var_bit = differ_care
+        if self.care & var_bit:
+            wide, narrow = other, self
+        else:
+            wide, narrow = self, other
+        # ``narrow`` has the literal; flip its polarity.
+        polarity = narrow.polarity ^ var_bit
+        return Cube(self.num_vars, narrow.care, polarity)
+
+    def _check_compatible(self, other: "Cube") -> None:
+        if self.num_vars != other.num_vars:
+            raise ValueError("cubes are defined over different variable counts")
+
+    # -- dunder -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cube):
+            return NotImplemented
+        return (
+            self.num_vars == other.num_vars
+            and self.care == other.care
+            and self.polarity == other.polarity
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_vars, self.care, self.polarity))
+
+    def __repr__(self) -> str:
+        return f"Cube({self.to_string()!r})"
+
+    def to_string(self) -> str:
+        """PLA-style string of the cube (``1``/``0``/``-`` per variable)."""
+        chars = []
+        for var in range(self.num_vars):
+            if not (self.care >> var) & 1:
+                chars.append("-")
+            elif (self.polarity >> var) & 1:
+                chars.append("1")
+            else:
+                chars.append("0")
+        return "".join(chars)

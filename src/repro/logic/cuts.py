@@ -1,0 +1,166 @@
+"""k-feasible cut enumeration and LUT covering for AIGs.
+
+Cut enumeration is the engine behind the ``xmglut`` analogue
+(:mod:`repro.logic.xmg_mapping`): the AIG is covered by k-input LUTs and each
+LUT function is then resynthesised into XOR/majority primitives.
+
+The implementation follows the standard *priority cuts* scheme: every node
+keeps at most ``max_cuts`` cuts of at most ``k`` leaves, obtained by merging
+the cut sets of its fanins, plus the trivial cut ``{node}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.logic.aig import Aig, lit_is_compl, lit_node
+from repro.logic.truth_table import tt_mask, tt_var
+
+__all__ = ["Cut", "enumerate_cuts", "cut_truth_table", "LutMapping", "lut_map"]
+
+
+@dataclass(frozen=True)
+class Cut:
+    """A cut of an AIG node: the node it covers and its leaf set."""
+
+    root: int
+    leaves: Tuple[int, ...]
+
+    def size(self) -> int:
+        """Number of leaves."""
+        return len(self.leaves)
+
+
+def enumerate_cuts(
+    aig: Aig, k: int = 4, max_cuts: int = 8
+) -> Dict[int, List[Cut]]:
+    """Enumerate up to ``max_cuts`` k-feasible cuts for every node.
+
+    Returns a mapping from node index to its cut list.  The first cut of
+    every node is its *best* cut under a (size, estimated depth) order; the
+    trivial cut is always included last.
+    """
+    if k < 2:
+        raise ValueError("cut size must be at least 2")
+    cuts: Dict[int, List[Cut]] = {0: [Cut(0, ())]}
+    levels = aig.levels()
+
+    for node in aig.nodes():
+        if node == 0:
+            continue
+        if aig.is_pi(node):
+            cuts[node] = [Cut(node, (node,))]
+            continue
+        f0, f1 = aig.fanins(node)
+        n0, n1 = lit_node(f0), lit_node(f1)
+        merged: Set[Tuple[int, ...]] = set()
+        for cut0 in cuts[n0]:
+            for cut1 in cuts[n1]:
+                leaves = tuple(sorted(set(cut0.leaves) | set(cut1.leaves)))
+                if len(leaves) <= k:
+                    merged.add(leaves)
+        candidates = [Cut(node, leaves) for leaves in merged]
+        candidates.sort(
+            key=lambda cut: (
+                cut.size(),
+                max((levels[leaf] for leaf in cut.leaves), default=0),
+                cut.leaves,
+            )
+        )
+        selected = candidates[:max_cuts]
+        trivial = Cut(node, (node,))
+        if trivial not in selected:
+            selected.append(trivial)
+        cuts[node] = selected
+    return cuts
+
+
+def cut_truth_table(aig: Aig, cut: Cut) -> int:
+    """Integer truth table of the cut root expressed over its leaves.
+
+    Leaf ``i`` of the cut corresponds to variable ``i`` of the truth table.
+    """
+    num_vars = len(cut.leaves)
+    mask = tt_mask(num_vars)
+    tables: Dict[int, int] = {0: 0}
+    for i, leaf in enumerate(cut.leaves):
+        tables[leaf] = tt_var(i, num_vars)
+
+    def lit_table(lit: int) -> int:
+        table = compute(lit_node(lit))
+        if lit_is_compl(lit):
+            table ^= mask
+        return table
+
+    def compute(node: int) -> int:
+        cached = tables.get(node)
+        if cached is not None:
+            return cached
+        if not aig.is_and(node):
+            raise ValueError(
+                f"node {node} is not inside the cone of cut {cut}: "
+                "cut leaves do not form a proper cut"
+            )
+        f0, f1 = aig.fanins(node)
+        result = lit_table(f0) & lit_table(f1)
+        tables[node] = result
+        return result
+
+    return compute(cut.root)
+
+
+@dataclass
+class LutMapping:
+    """Result of a LUT covering: one LUT per selected root node.
+
+    All node indices refer to ``aig`` (the cleaned copy the cover was
+    computed on), not to the AIG originally passed to :func:`lut_map`.
+    """
+
+    k: int
+    aig: Aig
+    # root node -> (leaf nodes, truth table over the leaves)
+    luts: Dict[int, Tuple[Tuple[int, ...], int]] = field(default_factory=dict)
+    # topological order of the LUT roots
+    order: List[int] = field(default_factory=list)
+
+    def num_luts(self) -> int:
+        """Number of LUTs in the cover."""
+        return len(self.luts)
+
+
+def lut_map(aig: Aig, k: int = 4, max_cuts: int = 8) -> LutMapping:
+    """Cover the AIG with k-input LUTs (area-oriented greedy covering).
+
+    Every node first receives a *best cut* (the first cut of its priority
+    list); the cover is then chosen by walking backwards from the primary
+    outputs and instantiating the best cut of every required node.
+    """
+    aig = aig.cleanup()
+    cuts = enumerate_cuts(aig, k=k, max_cuts=max_cuts)
+
+    best_cut: Dict[int, Cut] = {}
+    for node in aig.nodes():
+        if aig.is_and(node):
+            # Prefer non-trivial cuts; the enumeration sorts by size which
+            # would otherwise select the trivial single-leaf cut.
+            node_cuts = [c for c in cuts[node] if c.leaves != (node,)]
+            best_cut[node] = node_cuts[0] if node_cuts else cuts[node][0]
+
+    required: Set[int] = set()
+    stack = [lit_node(po) for po in aig.pos()]
+    luts: Dict[int, Tuple[Tuple[int, ...], int]] = {}
+    while stack:
+        node = stack.pop()
+        if node in required or node == 0 or aig.is_pi(node):
+            continue
+        required.add(node)
+        cut = best_cut[node]
+        truth = cut_truth_table(aig, cut)
+        luts[node] = (cut.leaves, truth)
+        for leaf in cut.leaves:
+            stack.append(leaf)
+
+    order = [node for node in aig.nodes() if node in luts]
+    return LutMapping(k=k, aig=aig, luts=luts, order=order)

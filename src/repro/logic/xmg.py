@@ -1,0 +1,380 @@
+"""XOR-majority graphs (XMGs).
+
+XMGs are the logic representation used by the hierarchical flow of the
+paper: internal nodes are either three-input majority (MAJ) or two-input XOR
+operations, and edges may be complemented.  They are advantageous for
+reversible synthesis because
+
+* a MAJ node (and therefore also AND/OR, which are MAJ with a constant
+  input) can be realised with a single Toffoli gate,
+* XOR nodes cost only CNOTs and therefore no T gates,
+* XOR/MAJ nodes can be computed in place when their operands are no longer
+  needed.
+
+The structure mirrors :class:`repro.logic.aig.Aig`: nodes are created in
+topological order, literals are ``2*node + complement`` and structural
+hashing keeps the graph canonical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.logic.truth_table import TruthTable, tt_mask, tt_var
+
+__all__ = ["Xmg"]
+
+
+def make_lit(node: int, compl: bool = False) -> int:
+    """Build an XMG literal from a node index and complement flag."""
+    return (node << 1) | int(compl)
+
+
+def lit_node(lit: int) -> int:
+    """Node index of an XMG literal."""
+    return lit >> 1
+
+
+def lit_is_compl(lit: int) -> bool:
+    """True if the literal is complemented."""
+    return bool(lit & 1)
+
+
+def lit_not(lit: int) -> int:
+    """Complement an XMG literal."""
+    return lit ^ 1
+
+
+def lit_not_cond(lit: int, condition: bool) -> int:
+    """Complement a literal iff ``condition`` is true."""
+    return lit ^ int(condition)
+
+
+class Xmg:
+    """A combinational XOR-majority graph."""
+
+    CONST0 = 0
+    CONST1 = 1
+
+    _KIND_CONST = 0
+    _KIND_PI = 1
+    _KIND_MAJ = 2
+    _KIND_XOR = 3
+
+    def __init__(self, name: str = "xmg"):
+        self.name = name
+        self._kind: List[int] = [self._KIND_CONST]
+        self._fanins: List[Tuple[int, ...]] = [()]
+        self._pis: List[int] = []
+        self._pi_names: List[str] = []
+        self._pos: List[int] = []
+        self._po_names: List[str] = []
+        self._strash: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_pi(self, name: Optional[str] = None) -> int:
+        """Create a primary input and return its literal."""
+        node = len(self._kind)
+        self._kind.append(self._KIND_PI)
+        self._fanins.append(())
+        self._pis.append(node)
+        self._pi_names.append(name if name is not None else f"pi{len(self._pis) - 1}")
+        return make_lit(node)
+
+    def add_po(self, lit: int, name: Optional[str] = None) -> int:
+        """Register a literal as primary output; returns the output index."""
+        self._check_lit(lit)
+        self._pos.append(lit)
+        self._po_names.append(name if name is not None else f"po{len(self._pos) - 1}")
+        return len(self._pos) - 1
+
+    def _new_node(self, kind: int, fanins: Tuple[int, ...]) -> int:
+        key = (kind, fanins)
+        node = self._strash.get(key)
+        if node is None:
+            node = len(self._kind)
+            self._kind.append(kind)
+            self._fanins.append(fanins)
+            self._strash[key] = node
+        return make_lit(node)
+
+    def create_maj(self, a: int, b: int, c: int) -> int:
+        """Create (or reuse) a majority-of-three node."""
+        for lit in (a, b, c):
+            self._check_lit(lit)
+        # Simplifications: equal / complementary operands.
+        if a == b:
+            return a
+        if a == c:
+            return a
+        if b == c:
+            return b
+        if a == lit_not(b):
+            return c
+        if a == lit_not(c):
+            return b
+        if b == lit_not(c):
+            return a
+        # Constant propagation: MAJ(a, b, 0) = a AND b, MAJ(a, b, 1) = a OR b
+        # are kept as MAJ nodes with a constant fanin (this is exactly how
+        # the XMG-based flow sees AND/OR gates), but double constants fold.
+        fanins = sorted([a, b, c])
+        # Canonical complementation: MAJ is self-dual, so if two or more
+        # fanins are complemented we complement all of them and the output.
+        num_compl = sum(lit_is_compl(lit) for lit in fanins)
+        output_compl = False
+        if num_compl >= 2:
+            fanins = [lit_not(lit) for lit in fanins]
+            output_compl = True
+            fanins.sort()
+        node_lit = self._new_node(self._KIND_MAJ, tuple(fanins))
+        return lit_not_cond(node_lit, output_compl)
+
+    def create_and(self, a: int, b: int) -> int:
+        """AND as majority with a constant-0 fanin."""
+        return self.create_maj(a, b, self.CONST0)
+
+    def create_or(self, a: int, b: int) -> int:
+        """OR as majority with a constant-1 fanin."""
+        return self.create_maj(a, b, self.CONST1)
+
+    def create_xor(self, a: int, b: int) -> int:
+        """Create (or reuse) a two-input XOR node."""
+        self._check_lit(a)
+        self._check_lit(b)
+        if a == b:
+            return self.CONST0
+        if a == lit_not(b):
+            return self.CONST1
+        if a == self.CONST0:
+            return b
+        if b == self.CONST0:
+            return a
+        if a == self.CONST1:
+            return lit_not(b)
+        if b == self.CONST1:
+            return lit_not(a)
+        # Push complements to the output: XOR(a', b) = XOR(a, b)'.
+        output_compl = lit_is_compl(a) ^ lit_is_compl(b)
+        fanins = tuple(sorted((a & ~1, b & ~1)))
+        node_lit = self._new_node(self._KIND_XOR, fanins)
+        return lit_not_cond(node_lit, output_compl)
+
+    def create_xor3(self, a: int, b: int, c: int) -> int:
+        """Three-input XOR as two cascaded XOR nodes."""
+        return self.create_xor(self.create_xor(a, b), c)
+
+    def create_ite(self, sel: int, if_true: int, if_false: int) -> int:
+        """Multiplexer built from majority/xor nodes.
+
+        ``ite(s, t, e) = maj(s, t, e) xor maj(s', t, e) xor (t xor e) ...``
+        is more expensive than the simple AND/OR form, so we use
+        ``(s AND t) OR (s' AND e)``.
+        """
+        return self.create_or(
+            self.create_and(sel, if_true), self.create_and(lit_not(sel), if_false)
+        )
+
+    # -- structure queries -----------------------------------------------------
+
+    def num_pis(self) -> int:
+        """Number of primary inputs."""
+        return len(self._pis)
+
+    def num_pos(self) -> int:
+        """Number of primary outputs."""
+        return len(self._pos)
+
+    def pis(self) -> List[int]:
+        """Literals of the primary inputs."""
+        return [make_lit(node) for node in self._pis]
+
+    def pos(self) -> List[int]:
+        """Literals driving the primary outputs."""
+        return list(self._pos)
+
+    def pi_names(self) -> List[str]:
+        """Names of the primary inputs."""
+        return list(self._pi_names)
+
+    def po_names(self) -> List[str]:
+        """Names of the primary outputs."""
+        return list(self._po_names)
+
+    def is_pi(self, node: int) -> bool:
+        """True if the node is a primary input."""
+        return self._kind[node] == self._KIND_PI
+
+    def is_maj(self, node: int) -> bool:
+        """True if the node is a majority node."""
+        return self._kind[node] == self._KIND_MAJ
+
+    def is_xor(self, node: int) -> bool:
+        """True if the node is an XOR node."""
+        return self._kind[node] == self._KIND_XOR
+
+    def is_const(self, node: int) -> bool:
+        """True if the node is the constant node."""
+        return self._kind[node] == self._KIND_CONST
+
+    def fanins(self, node: int) -> Tuple[int, ...]:
+        """Fanin literals of a node (empty for PIs and the constant)."""
+        return self._fanins[node]
+
+    def nodes(self) -> range:
+        """All node indices in topological order."""
+        return range(len(self._kind))
+
+    def gate_nodes(self) -> List[int]:
+        """Indices of all MAJ/XOR nodes in topological order."""
+        return [n for n in self.nodes() if self.is_maj(n) or self.is_xor(n)]
+
+    def num_maj(self) -> int:
+        """Number of majority nodes (including AND/OR specialisations)."""
+        return sum(1 for n in self.nodes() if self.is_maj(n))
+
+    def num_xor(self) -> int:
+        """Number of XOR nodes."""
+        return sum(1 for n in self.nodes() if self.is_xor(n))
+
+    def num_gates(self) -> int:
+        """Total number of gate nodes."""
+        return self.num_maj() + self.num_xor()
+
+    def fanout_counts(self) -> List[int]:
+        """Number of fanouts of every node (POs count as fanouts)."""
+        counts = [0] * len(self._kind)
+        for node in self.nodes():
+            for fanin in self._fanins[node]:
+                counts[lit_node(fanin)] += 1
+        for po in self._pos:
+            counts[lit_node(po)] += 1
+        return counts
+
+    def levels(self) -> Dict[int, int]:
+        """Logic level of every node."""
+        level: Dict[int, int] = {}
+        for node in self.nodes():
+            fanins = self._fanins[node]
+            if not fanins:
+                level[node] = 0
+            else:
+                level[node] = 1 + max(level[lit_node(f)] for f in fanins)
+        return level
+
+    def depth(self) -> int:
+        """Number of logic levels on the longest PI-to-PO path."""
+        if not self._pos:
+            return 0
+        level = self.levels()
+        return max(level[lit_node(po)] for po in self._pos)
+
+    def _check_lit(self, lit: int) -> None:
+        node = lit_node(lit)
+        if not 0 <= node < len(self._kind):
+            raise ValueError(f"literal {lit} references unknown node {node}")
+
+    # -- simulation -------------------------------------------------------------
+
+    def node_truth_tables(self) -> List[int]:
+        """Integer truth tables (over all PIs) of every node."""
+        num_vars = len(self._pis)
+        mask = tt_mask(num_vars)
+        tables: List[int] = [0] * len(self._kind)
+        for i, node in enumerate(self._pis):
+            tables[node] = tt_var(i, num_vars)
+
+        def lit_table(lit: int) -> int:
+            table = tables[lit_node(lit)]
+            if lit_is_compl(lit):
+                table ^= mask
+            return table
+
+        for node in self.nodes():
+            if self.is_maj(node):
+                a, b, c = (lit_table(f) for f in self._fanins[node])
+                tables[node] = (a & b) | (a & c) | (b & c)
+            elif self.is_xor(node):
+                a, b = (lit_table(f) for f in self._fanins[node])
+                tables[node] = a ^ b
+        return tables
+
+    def output_columns(self) -> List[int]:
+        """Integer truth tables of every primary output."""
+        num_vars = len(self._pis)
+        mask = tt_mask(num_vars)
+        tables = self.node_truth_tables()
+        columns = []
+        for po in self._pos:
+            table = tables[lit_node(po)]
+            if lit_is_compl(po):
+                table ^= mask
+            columns.append(table)
+        return columns
+
+    def to_truth_table(self) -> TruthTable:
+        """Expand the XMG into an explicit multi-output truth table."""
+        return TruthTable.from_columns(self.output_columns(), self.num_pis())
+
+    def simulate_minterm(self, minterm: int) -> int:
+        """Evaluate the XMG on one input assignment; returns the output word."""
+        values: List[bool] = [False] * len(self._kind)
+        for i, node in enumerate(self._pis):
+            values[node] = bool((minterm >> i) & 1)
+
+        def lit_value(lit: int) -> bool:
+            return values[lit_node(lit)] ^ lit_is_compl(lit)
+
+        for node in self.nodes():
+            if self.is_maj(node):
+                a, b, c = (lit_value(f) for f in self._fanins[node])
+                values[node] = (a and b) or (a and c) or (b and c)
+            elif self.is_xor(node):
+                a, b = (lit_value(f) for f in self._fanins[node])
+                values[node] = a ^ b
+
+        word = 0
+        for j, po in enumerate(self._pos):
+            if lit_value(po):
+                word |= 1 << j
+        return word
+
+    # -- maintenance -------------------------------------------------------------
+
+    def cleanup(self) -> "Xmg":
+        """Return a copy containing only nodes reachable from the outputs."""
+        reachable = set()
+        stack = [lit_node(po) for po in self._pos]
+        while stack:
+            node = stack.pop()
+            if node in reachable or self.is_const(node):
+                continue
+            reachable.add(node)
+            for fanin in self._fanins[node]:
+                stack.append(lit_node(fanin))
+
+        result = Xmg(self.name)
+        mapping: Dict[int, int] = {0: Xmg.CONST0}
+        for node, name in zip(self._pis, self._pi_names):
+            mapping[node] = result.add_pi(name)
+        for node in self.nodes():
+            if node not in reachable or self.is_pi(node) or self.is_const(node):
+                continue
+            fanins = [
+                lit_not_cond(mapping[lit_node(f)], lit_is_compl(f))
+                for f in self._fanins[node]
+            ]
+            if self.is_maj(node):
+                mapping[node] = result.create_maj(*fanins)
+            else:
+                mapping[node] = result.create_xor(*fanins)
+        for po, name in zip(self._pos, self._po_names):
+            result.add_po(lit_not_cond(mapping[lit_node(po)], lit_is_compl(po)), name)
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"Xmg(name={self.name!r}, pis={self.num_pis()}, pos={self.num_pos()}, "
+            f"maj={self.num_maj()}, xor={self.num_xor()})"
+        )

@@ -1,0 +1,120 @@
+"""Mapping AIGs into XOR-majority graphs (the CirKit ``xmglut`` analogue).
+
+The hierarchical flow of the paper derives an XMG from an optimised AIG with
+``xmglut -k 4``: the AIG is covered with k-input LUTs and every LUT function
+is resynthesised with XOR/MAJ primitives.  This module implements the same
+two steps:
+
+1. :func:`repro.logic.cuts.lut_map` computes a k-LUT cover,
+2. every LUT function is resynthesised into the XMG, preferring XOR-rich
+   structures (XOR nodes cost no T gates downstream) — linear functions map
+   to pure XOR chains, majority-like functions to a single MAJ node and
+   everything else to a PSDKRO ESOP (XOR of AND-chains).
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Dict, List, Sequence
+
+from repro.logic.aig import Aig
+from repro.logic.aig import lit_is_compl as aig_lit_is_compl
+from repro.logic.aig import lit_node as aig_lit_node
+from repro.logic.cuts import lut_map
+from repro.logic.esop import _PsdkroExtractor
+from repro.logic.truth_table import tt_mask, tt_support, tt_var
+from repro.logic.xmg import Xmg, lit_not, lit_not_cond
+
+__all__ = ["aig_to_xmg", "synthesize_lut_into_xmg"]
+
+
+def synthesize_lut_into_xmg(
+    xmg: Xmg, truth: int, leaf_lits: Sequence[int], num_vars: int
+) -> int:
+    """Build an XMG literal computing ``truth`` over ``leaf_lits``.
+
+    ``truth`` is a single-output integer truth table over ``num_vars``
+    variables; variable ``i`` corresponds to ``leaf_lits[i]``.
+    """
+    mask = tt_mask(num_vars)
+    truth &= mask
+
+    # Constants.
+    if truth == 0:
+        return Xmg.CONST0
+    if truth == mask:
+        return Xmg.CONST1
+
+    support = tt_support(truth, num_vars)
+
+    # Single literal (possibly complemented).
+    if len(support) == 1:
+        var = support[0]
+        var_tt = tt_var(var, num_vars)
+        if truth == var_tt:
+            return leaf_lits[var]
+        if truth == (var_tt ^ mask):
+            return lit_not(leaf_lits[var])
+
+    # Pure parity functions: XOR of the support variables (maybe complemented).
+    xor_tt = 0
+    for var in support:
+        xor_tt ^= tt_var(var, num_vars)
+    if truth == xor_tt or truth == (xor_tt ^ mask):
+        literal = Xmg.CONST0
+        for var in support:
+            literal = xmg.create_xor(literal, leaf_lits[var])
+        if truth != xor_tt:
+            literal = lit_not(literal)
+        return literal
+
+    # Single majority gate over three support variables with any polarities.
+    if len(support) == 3:
+        tables = [tt_var(var, num_vars) for var in support]
+        for polarities in iter_product((False, True), repeat=3):
+            a, b, c = (
+                table ^ mask if flip else table
+                for table, flip in zip(tables, polarities)
+            )
+            maj_tt = (a & b) | (a & c) | (b & c)
+            if truth in (maj_tt, maj_tt ^ mask):
+                literals = [
+                    lit_not_cond(leaf_lits[var], flip)
+                    for var, flip in zip(support, polarities)
+                ]
+                literal = xmg.create_maj(*literals)
+                if truth != maj_tt:
+                    literal = lit_not(literal)
+                return literal
+
+    # General case: PSDKRO ESOP, realised as an XOR of AND chains.
+    cubes = _PsdkroExtractor(num_vars).extract(truth)
+    literal = Xmg.CONST0
+    for cube in cubes:
+        cube_literal = Xmg.CONST1
+        for var, positive in cube.literals():
+            operand = lit_not_cond(leaf_lits[var], not positive)
+            cube_literal = xmg.create_and(cube_literal, operand)
+        literal = xmg.create_xor(literal, cube_literal)
+    return literal
+
+
+def aig_to_xmg(aig: Aig, k: int = 4, max_cuts: int = 8) -> Xmg:
+    """Convert an AIG into an XMG via k-LUT mapping and LUT resynthesis."""
+    mapping = lut_map(aig, k=k, max_cuts=max_cuts)
+    mapped_aig = mapping.aig
+
+    xmg = Xmg(aig.name)
+    node_lit: Dict[int, int] = {0: Xmg.CONST0}
+    for pi_lit, name in zip(mapped_aig.pis(), mapped_aig.pi_names()):
+        node_lit[aig_lit_node(pi_lit)] = xmg.add_pi(name)
+
+    for root in mapping.order:
+        leaves, truth = mapping.luts[root]
+        leaf_lits = [node_lit[leaf] for leaf in leaves]
+        node_lit[root] = synthesize_lut_into_xmg(xmg, truth, leaf_lits, len(leaves))
+
+    for po, name in zip(mapped_aig.pos(), mapped_aig.po_names()):
+        literal = lit_not_cond(node_lit[aig_lit_node(po)], aig_lit_is_compl(po))
+        xmg.add_po(literal, name)
+    return xmg.cleanup()

@@ -1,0 +1,28 @@
+"""Quantum level: Clifford+T circuits, MCT mapping and T-count cost models.
+
+The paper costs every reversible circuit by its number of qubits and its
+T-count (fault-tolerant gate sets make the T gate the dominant cost, cf.
+Section I).  This sub-package provides
+
+* :mod:`repro.quantum.gates` / :mod:`repro.quantum.circuit` — a small
+  Clifford+T circuit representation,
+* :mod:`repro.quantum.mapping` — expansion of mixed-polarity
+  multiple-controlled Toffoli gates into Clifford+T networks,
+* :mod:`repro.quantum.tcount` — the closed-form T-count models used by the
+  benchmark tables (Barenco-style and relative-phase-Toffoli style),
+* :mod:`repro.quantum.statevector` — a dense simulator used by the tests to
+  prove the gate decompositions unitarily correct.
+"""
+
+from repro.quantum.circuit import QuantumCircuit, QuantumGate
+from repro.quantum.mapping import map_to_clifford_t, toffoli_clifford_t
+from repro.quantum.tcount import circuit_t_count, mct_t_count
+
+__all__ = [
+    "QuantumCircuit",
+    "QuantumGate",
+    "circuit_t_count",
+    "map_to_clifford_t",
+    "mct_t_count",
+    "toffoli_clifford_t",
+]

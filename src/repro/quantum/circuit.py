@@ -1,0 +1,118 @@
+"""A minimal Clifford+T quantum circuit representation.
+
+Only what the reproduction needs: a gate list over a fixed number of qubits,
+gate-count statistics (T-count, T-depth estimate) and conversion hooks for
+the statevector simulator.  Gates are identified by name; the supported set
+is listed in :data:`SUPPORTED_GATES`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["QuantumGate", "QuantumCircuit", "SUPPORTED_GATES"]
+
+
+#: Gate name -> number of qubits it acts on.
+SUPPORTED_GATES: Dict[str, int] = {
+    "x": 1,
+    "z": 1,
+    "h": 1,
+    "s": 1,
+    "sdg": 1,
+    "t": 1,
+    "tdg": 1,
+    "cx": 2,
+    "cz": 2,
+}
+
+_T_GATES = {"t", "tdg"}
+
+
+@dataclass(frozen=True)
+class QuantumGate:
+    """A named gate applied to an ordered tuple of qubits."""
+
+    name: str
+    qubits: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.name not in SUPPORTED_GATES:
+            raise ValueError(f"unsupported gate {self.name!r}")
+        if len(self.qubits) != SUPPORTED_GATES[self.name]:
+            raise ValueError(
+                f"gate {self.name!r} expects {SUPPORTED_GATES[self.name]} qubits, "
+                f"got {len(self.qubits)}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError("gate qubits must be distinct")
+        if any(q < 0 for q in self.qubits):
+            raise ValueError("qubit indices must be non-negative")
+
+    def is_t_like(self) -> bool:
+        """True for T / T-dagger gates."""
+        return self.name in _T_GATES
+
+
+class QuantumCircuit:
+    """A gate cascade over ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int, name: str = "qc"):
+        if num_qubits <= 0:
+            raise ValueError("num_qubits must be positive")
+        self.num_qubits = num_qubits
+        self.name = name
+        self._gates: List[QuantumGate] = []
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, name: str, *qubits: int) -> None:
+        """Append a gate by name."""
+        gate = QuantumGate(name, tuple(qubits))
+        if any(q >= self.num_qubits for q in qubits):
+            raise ValueError(f"gate {gate} exceeds qubit count {self.num_qubits}")
+        self._gates.append(gate)
+
+    def extend(self, gates: Iterable[QuantumGate]) -> None:
+        """Append several gates."""
+        for gate in gates:
+            self.add(gate.name, *gate.qubits)
+
+    # -- statistics ------------------------------------------------------------
+
+    def gates(self) -> List[QuantumGate]:
+        """The gate list in application order."""
+        return list(self._gates)
+
+    def num_gates(self) -> int:
+        """Total number of gates."""
+        return len(self._gates)
+
+    def gate_counts(self) -> Dict[str, int]:
+        """Histogram of gate names."""
+        counts: Dict[str, int] = {}
+        for gate in self._gates:
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+        return counts
+
+    def t_count(self) -> int:
+        """Number of T and T-dagger gates."""
+        return sum(1 for gate in self._gates if gate.is_t_like())
+
+    def t_depth(self) -> int:
+        """Greedy T-depth estimate (T layers assuming full parallelism)."""
+        qubit_depth = [0] * self.num_qubits
+        for gate in self._gates:
+            level = max(qubit_depth[q] for q in gate.qubits)
+            if gate.is_t_like():
+                level += 1
+            for q in gate.qubits:
+                qubit_depth[q] = level
+        return max(qubit_depth, default=0)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"gates={self.num_gates()}, t={self.t_count()})"
+        )

@@ -1,0 +1,114 @@
+"""Mapping reversible Toffoli cascades into Clifford+T quantum circuits.
+
+This is the final hop of the paper's flow (reversible synthesis level to
+quantum level): every mixed-polarity multiple-controlled Toffoli gate is
+expanded into the Clifford+T gate set.
+
+* NOT and CNOT gates map directly (negative controls are conjugated with X
+  gates, which are Clifford and therefore free in the T-count),
+* a two-control Toffoli uses the standard 7-T decomposition,
+* a k-control Toffoli (k >= 3) uses a clean-ancilla AND-chain of ``2k - 3``
+  Toffolis (Barenco et al. style); the ancilla register is shared between
+  all gates of the cascade.
+
+The resulting explicit T-count equals the closed-form ``"barenco"`` model of
+:mod:`repro.quantum.tcount`, which the test-suite asserts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.quantum.circuit import QuantumCircuit, QuantumGate
+from repro.reversible.circuit import ReversibleCircuit
+from repro.reversible.gates import ToffoliGate
+
+__all__ = ["toffoli_clifford_t", "map_to_clifford_t"]
+
+
+def toffoli_clifford_t(control_a: int, control_b: int, target: int) -> List[QuantumGate]:
+    """The standard 7-T Clifford+T decomposition of a positive Toffoli gate."""
+    g = QuantumGate
+    return [
+        g("h", (target,)),
+        g("cx", (control_b, target)),
+        g("tdg", (target,)),
+        g("cx", (control_a, target)),
+        g("t", (target,)),
+        g("cx", (control_b, target)),
+        g("tdg", (target,)),
+        g("cx", (control_a, target)),
+        g("t", (control_b,)),
+        g("t", (target,)),
+        g("h", (target,)),
+        g("cx", (control_a, control_b)),
+        g("t", (control_a,)),
+        g("tdg", (control_b,)),
+        g("cx", (control_a, control_b)),
+    ]
+
+
+def _emit_negative_control_wrappers(
+    circuit: QuantumCircuit, gate: ToffoliGate
+) -> List[int]:
+    """Apply X to negative-control qubits; returns the wrapped qubits."""
+    wrapped = list(gate.negative_controls())
+    for qubit in wrapped:
+        circuit.add("x", qubit)
+    return wrapped
+
+
+def _emit_plain_mct(
+    circuit: QuantumCircuit,
+    controls: Sequence[int],
+    target: int,
+    ancillas: Sequence[int],
+) -> None:
+    """Emit a positive-control MCT using a clean-ancilla AND chain."""
+    k = len(controls)
+    if k == 0:
+        circuit.add("x", target)
+        return
+    if k == 1:
+        circuit.add("cx", controls[0], target)
+        return
+    if k == 2:
+        circuit.extend(toffoli_clifford_t(controls[0], controls[1], target))
+        return
+
+    needed = k - 2
+    if len(ancillas) < needed:
+        raise ValueError(
+            f"gate with {k} controls needs {needed} ancilla qubits, "
+            f"got {len(ancillas)}"
+        )
+    chain: List[Tuple[int, int, int]] = []
+    chain.append((controls[0], controls[1], ancillas[0]))
+    for i in range(k - 3):
+        chain.append((ancillas[i], controls[i + 2], ancillas[i + 1]))
+
+    for a, b, t in chain:
+        circuit.extend(toffoli_clifford_t(a, b, t))
+    circuit.extend(toffoli_clifford_t(ancillas[needed - 1], controls[-1], target))
+    for a, b, t in reversed(chain):
+        circuit.extend(toffoli_clifford_t(a, b, t))
+
+
+def map_to_clifford_t(circuit: ReversibleCircuit) -> QuantumCircuit:
+    """Expand a reversible circuit into an explicit Clifford+T circuit.
+
+    The quantum circuit has the reversible circuit's lines as its first
+    qubits, followed by ``max(0, max_controls - 2)`` shared clean ancilla
+    qubits used by the large-gate decompositions.
+    """
+    extra = max(0, circuit.max_controls() - 2)
+    result = QuantumCircuit(circuit.num_lines() + extra, name=f"{circuit.name}_cliffordt")
+    ancillas = list(range(circuit.num_lines(), circuit.num_lines() + extra))
+
+    for gate in circuit.gates():
+        wrapped = _emit_negative_control_wrappers(result, gate)
+        controls = [line for line, _ in gate.controls]
+        _emit_plain_mct(result, controls, gate.target, ancillas)
+        for qubit in wrapped:
+            result.add("x", qubit)
+    return result

@@ -1,0 +1,120 @@
+"""Dense statevector simulation of small Clifford+T circuits.
+
+Used by the test-suite to prove the multiple-controlled-Toffoli
+decompositions of :mod:`repro.quantum.mapping` unitarily correct (they must
+act as the corresponding classical permutation on computational basis
+states, with no stray phases between basis states that started with
+amplitude one).
+"""
+
+from __future__ import annotations
+
+import cmath
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.quantum.circuit import QuantumCircuit, QuantumGate
+
+__all__ = ["Statevector", "simulate_basis_state", "circuit_permutation"]
+
+
+_SQRT2 = 1.0 / np.sqrt(2.0)
+
+_SINGLE_QUBIT_MATRICES: Dict[str, np.ndarray] = {
+    "x": np.array([[0, 1], [1, 0]], dtype=complex),
+    "z": np.array([[1, 0], [0, -1]], dtype=complex),
+    "h": np.array([[_SQRT2, _SQRT2], [_SQRT2, -_SQRT2]], dtype=complex),
+    "s": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "sdg": np.array([[1, 0], [0, -1j]], dtype=complex),
+    "t": np.array([[1, 0], [0, cmath.exp(1j * cmath.pi / 4)]], dtype=complex),
+    "tdg": np.array([[1, 0], [0, cmath.exp(-1j * cmath.pi / 4)]], dtype=complex),
+}
+
+
+class Statevector:
+    """A dense quantum state over ``num_qubits`` qubits (qubit 0 = LSB)."""
+
+    def __init__(self, num_qubits: int, basis_state: int = 0):
+        if num_qubits <= 0 or num_qubits > 24:
+            raise ValueError("num_qubits must be between 1 and 24")
+        if not 0 <= basis_state < (1 << num_qubits):
+            raise ValueError("basis_state out of range")
+        self.num_qubits = num_qubits
+        self.amplitudes = np.zeros(1 << num_qubits, dtype=complex)
+        self.amplitudes[basis_state] = 1.0
+
+    # -- gate application -----------------------------------------------------
+
+    def apply(self, gate: QuantumGate) -> None:
+        """Apply one gate in place."""
+        if gate.name in _SINGLE_QUBIT_MATRICES:
+            self._apply_single(_SINGLE_QUBIT_MATRICES[gate.name], gate.qubits[0])
+        elif gate.name == "cx":
+            self._apply_cx(gate.qubits[0], gate.qubits[1])
+        elif gate.name == "cz":
+            self._apply_cz(gate.qubits[0], gate.qubits[1])
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unsupported gate {gate.name!r}")
+
+    def apply_circuit(self, circuit: QuantumCircuit) -> None:
+        """Apply every gate of a circuit in order."""
+        if circuit.num_qubits > self.num_qubits:
+            raise ValueError("circuit has more qubits than the state")
+        for gate in circuit.gates():
+            self.apply(gate)
+
+    def _apply_single(self, matrix: np.ndarray, qubit: int) -> None:
+        n = self.num_qubits
+        state = self.amplitudes.reshape(1 << (n - qubit - 1), 2, 1 << qubit)
+        self.amplitudes = np.einsum("ij,ajb->aib", matrix, state).reshape(-1)
+
+    def _apply_cx(self, control: int, target: int) -> None:
+        indices = np.arange(self.amplitudes.size)
+        mask = (indices >> control) & 1 == 1
+        swapped = indices ^ (1 << target)
+        new_amplitudes = self.amplitudes.copy()
+        new_amplitudes[indices[mask]] = self.amplitudes[swapped[mask]]
+        self.amplitudes = new_amplitudes
+
+    def _apply_cz(self, control: int, target: int) -> None:
+        indices = np.arange(self.amplitudes.size)
+        mask = (((indices >> control) & 1) == 1) & (((indices >> target) & 1) == 1)
+        self.amplitudes[mask] *= -1
+
+    # -- queries ---------------------------------------------------------------
+
+    def probability(self, basis_state: int) -> float:
+        """Probability of measuring ``basis_state``."""
+        return float(abs(self.amplitudes[basis_state]) ** 2)
+
+    def dominant_basis_state(self, tolerance: float = 1e-9) -> int:
+        """The single basis state carrying (almost) all probability.
+
+        Raises if the state is not concentrated on one computational basis
+        state (up to ``tolerance``).
+        """
+        index = int(np.argmax(np.abs(self.amplitudes)))
+        if abs(self.probability(index) - 1.0) > tolerance:
+            raise ValueError("state is not a computational basis state")
+        return index
+
+
+def simulate_basis_state(circuit: QuantumCircuit, basis_state: int) -> int:
+    """Run ``circuit`` on a basis state and return the resulting basis state."""
+    state = Statevector(circuit.num_qubits, basis_state)
+    state.apply_circuit(circuit)
+    return state.dominant_basis_state()
+
+
+def circuit_permutation(circuit: QuantumCircuit, num_data_qubits: int) -> Iterable[int]:
+    """The classical permutation a (classically-acting) circuit realises.
+
+    Iterates the image of every basis state of the first ``num_data_qubits``
+    qubits (remaining qubits start and must end in state 0).
+    """
+    for basis_state in range(1 << num_data_qubits):
+        image = simulate_basis_state(circuit, basis_state)
+        if image >> num_data_qubits:
+            raise ValueError("ancilla qubits were not returned to zero")
+        yield image

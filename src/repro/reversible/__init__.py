@@ -1,0 +1,47 @@
+"""Reversible circuits and reversible logic synthesis.
+
+This sub-package implements the *reversible synthesis level* of the paper's
+design flows:
+
+* :mod:`repro.reversible.gates` / :mod:`repro.reversible.circuit` — mixed
+  polarity multiple-controlled Toffoli gates and gate cascades,
+* :mod:`repro.reversible.embedding` — Bennett and optimum-line embeddings of
+  irreversible functions (Section II-B),
+* :mod:`repro.reversible.tbs` / :mod:`repro.reversible.symbolic_tbs` —
+  transformation-based synthesis (the functional flow),
+* :mod:`repro.reversible.esop_synth` — ESOP-based synthesis with optional
+  sub-expression factoring (the REVS flow, parameter ``p``),
+* :mod:`repro.reversible.hierarchical` — hierarchical synthesis from XMGs
+  with Bennett or eager ancilla cleanup,
+* :mod:`repro.reversible.verification` — equivalence of a synthesised
+  circuit against the original irreversible specification.
+"""
+
+from repro.reversible.circuit import LineInfo, ReversibleCircuit
+from repro.reversible.embedding import (
+    EmbeddedFunction,
+    bennett_embedding,
+    minimum_additional_lines,
+    optimum_embedding,
+)
+from repro.reversible.esop_synth import esop_synthesis
+from repro.reversible.gates import ToffoliGate
+from repro.reversible.hierarchical import hierarchical_synthesis
+from repro.reversible.tbs import transformation_based_synthesis
+from repro.reversible.symbolic_tbs import symbolic_tbs
+from repro.reversible.verification import verify_circuit
+
+__all__ = [
+    "EmbeddedFunction",
+    "LineInfo",
+    "ReversibleCircuit",
+    "ToffoliGate",
+    "bennett_embedding",
+    "esop_synthesis",
+    "hierarchical_synthesis",
+    "minimum_additional_lines",
+    "optimum_embedding",
+    "symbolic_tbs",
+    "transformation_based_synthesis",
+    "verify_circuit",
+]

@@ -1,0 +1,290 @@
+"""Reversible circuits: cascades of Toffoli gates over a fixed set of lines.
+
+A :class:`ReversibleCircuit` owns its lines (qubits) and a gate cascade.
+Every line carries a :class:`LineInfo` describing its role at the circuit
+boundary:
+
+* an *input* line receives bit ``input_index`` of the primary input,
+* a *constant* line is initialised to a fixed value (an ancilla),
+* an *output* line carries bit ``output_index`` of the function result after
+  the cascade,
+* a *garbage* line carries a value that is discarded.
+
+A line may simultaneously be an input and an output (in-place computation,
+as produced by the functional synthesis flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.reversible.gates import ToffoliGate
+
+__all__ = ["LineInfo", "ReversibleCircuit"]
+
+
+@dataclass(frozen=True)
+class LineInfo:
+    """Boundary role of one circuit line."""
+
+    name: str
+    input_index: Optional[int] = None
+    constant: Optional[int] = None
+    output_index: Optional[int] = None
+    garbage: bool = False
+
+    def is_input(self) -> bool:
+        """True if the line receives a primary input bit."""
+        return self.input_index is not None
+
+    def is_constant(self) -> bool:
+        """True if the line is an ancilla with a fixed initial value."""
+        return self.constant is not None
+
+    def is_output(self) -> bool:
+        """True if the line carries a primary output bit."""
+        return self.output_index is not None
+
+
+class ReversibleCircuit:
+    """A cascade of mixed-polarity multiple-controlled Toffoli gates."""
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self._lines: List[LineInfo] = []
+        self._gates: List[ToffoliGate] = []
+
+    # -- lines ----------------------------------------------------------------
+
+    def add_line(
+        self,
+        name: Optional[str] = None,
+        input_index: Optional[int] = None,
+        constant: Optional[int] = None,
+        output_index: Optional[int] = None,
+        garbage: bool = False,
+    ) -> int:
+        """Add a line and return its index."""
+        if input_index is not None and constant is not None:
+            raise ValueError("a line cannot be both an input and a constant")
+        if constant is not None and constant not in (0, 1):
+            raise ValueError("constant initial values must be 0 or 1")
+        index = len(self._lines)
+        if name is None:
+            name = f"line{index}"
+        self._lines.append(
+            LineInfo(name, input_index, constant, output_index, garbage)
+        )
+        return index
+
+    def add_input_line(self, input_index: int, name: Optional[str] = None) -> int:
+        """Add a primary-input line."""
+        return self.add_line(name or f"x{input_index}", input_index=input_index)
+
+    def add_constant_line(self, value: int = 0, name: Optional[str] = None) -> int:
+        """Add an ancilla line initialised to ``value``."""
+        return self.add_line(name, constant=value)
+
+    def set_output(self, line: int, output_index: int) -> None:
+        """Mark ``line`` as carrying primary output ``output_index``."""
+        self._check_line(line)
+        self._lines[line] = replace(
+            self._lines[line], output_index=output_index, garbage=False
+        )
+
+    def set_garbage(self, line: int) -> None:
+        """Mark ``line`` as garbage."""
+        self._check_line(line)
+        self._lines[line] = replace(self._lines[line], garbage=True, output_index=None)
+
+    def line_info(self, line: int) -> LineInfo:
+        """Boundary role of a line."""
+        self._check_line(line)
+        return self._lines[line]
+
+    def lines(self) -> List[LineInfo]:
+        """All line descriptors in index order."""
+        return list(self._lines)
+
+    def num_lines(self) -> int:
+        """Number of circuit lines (qubits)."""
+        return len(self._lines)
+
+    def num_qubits(self) -> int:
+        """Alias of :meth:`num_lines` (the paper's cost metric name)."""
+        return len(self._lines)
+
+    def input_lines(self) -> Dict[int, int]:
+        """Map primary-input bit index to line index."""
+        return {
+            info.input_index: line
+            for line, info in enumerate(self._lines)
+            if info.input_index is not None
+        }
+
+    def output_lines(self) -> Dict[int, int]:
+        """Map primary-output bit index to line index."""
+        return {
+            info.output_index: line
+            for line, info in enumerate(self._lines)
+            if info.output_index is not None
+        }
+
+    def constant_lines(self) -> Dict[int, int]:
+        """Map line index to initial constant value for all ancilla lines."""
+        return {
+            line: info.constant
+            for line, info in enumerate(self._lines)
+            if info.constant is not None
+        }
+
+    def num_inputs(self) -> int:
+        """Number of primary-input bits."""
+        return len(self.input_lines())
+
+    def num_outputs(self) -> int:
+        """Number of primary-output bits."""
+        return len(self.output_lines())
+
+    def _check_line(self, line: int) -> None:
+        if not 0 <= line < len(self._lines):
+            raise ValueError(f"line {line} does not exist")
+
+    # -- gates ----------------------------------------------------------------
+
+    def append(self, gate: ToffoliGate) -> None:
+        """Append a gate to the cascade."""
+        if gate.max_line() >= len(self._lines):
+            raise ValueError(
+                f"gate {gate} uses line {gate.max_line()} but the circuit has "
+                f"only {len(self._lines)} lines"
+            )
+        self._gates.append(gate)
+
+    def extend(self, gates: Iterable[ToffoliGate]) -> None:
+        """Append several gates."""
+        for gate in gates:
+            self.append(gate)
+
+    def prepend(self, gate: ToffoliGate) -> None:
+        """Insert a gate at the beginning of the cascade."""
+        if gate.max_line() >= len(self._lines):
+            raise ValueError(
+                f"gate {gate} uses line {gate.max_line()} but the circuit has "
+                f"only {len(self._lines)} lines"
+            )
+        self._gates.insert(0, gate)
+
+    def gates(self) -> List[ToffoliGate]:
+        """The gate cascade in application order."""
+        return list(self._gates)
+
+    def num_gates(self) -> int:
+        """Number of Toffoli gates in the cascade."""
+        return len(self._gates)
+
+    def gate_histogram(self) -> Dict[int, int]:
+        """Histogram mapping control count to number of gates."""
+        histogram: Dict[int, int] = {}
+        for gate in self._gates:
+            histogram[gate.num_controls()] = histogram.get(gate.num_controls(), 0) + 1
+        return histogram
+
+    def max_controls(self) -> int:
+        """Largest control count of any gate."""
+        if not self._gates:
+            return 0
+        return max(gate.num_controls() for gate in self._gates)
+
+    def t_count(self, model: str = "rtof") -> int:
+        """T-count of the cascade under a named cost model.
+
+        Delegates to :func:`repro.quantum.tcount.circuit_t_count`; see that
+        module for the available models.
+        """
+        from repro.quantum.tcount import circuit_t_count
+
+        return circuit_t_count(self, model=model)
+
+    def inverse(self) -> "ReversibleCircuit":
+        """The inverse circuit (reversed cascade; Toffoli gates are involutions)."""
+        result = ReversibleCircuit(f"{self.name}_inv")
+        result._lines = list(self._lines)
+        result._gates = list(reversed(self._gates))
+        return result
+
+    def copy(self) -> "ReversibleCircuit":
+        """An independent copy of the circuit."""
+        result = ReversibleCircuit(self.name)
+        result._lines = list(self._lines)
+        result._gates = list(self._gates)
+        return result
+
+    def with_gates(self, gates: Iterable[ToffoliGate]) -> "ReversibleCircuit":
+        """A copy with the same lines/roles but a different gate cascade."""
+        result = ReversibleCircuit(self.name)
+        result._lines = list(self._lines)
+        result.extend(gates)
+        return result
+
+    # -- semantics ---------------------------------------------------------------
+
+    def apply_to_state(self, state: int) -> int:
+        """Apply the cascade to a basis state (integer over all lines)."""
+        for gate in self._gates:
+            state = gate.apply(state)
+        return state
+
+    def initial_state(self, input_word: int) -> int:
+        """Build the initial line state for a primary-input word.
+
+        Input lines receive their input bit, constant lines their constant
+        and every other line starts at 0.
+        """
+        state = 0
+        for line, info in enumerate(self._lines):
+            if info.input_index is not None:
+                bit = (input_word >> info.input_index) & 1
+            elif info.constant is not None:
+                bit = info.constant
+            else:
+                bit = 0
+            state |= bit << line
+        return state
+
+    def evaluate(self, input_word: int) -> int:
+        """Run the circuit on a primary-input word and return the output word."""
+        state = self.apply_to_state(self.initial_state(input_word))
+        word = 0
+        for line, info in enumerate(self._lines):
+            if info.output_index is not None and (state >> line) & 1:
+                word |= 1 << info.output_index
+        return word
+
+    def final_state(self, input_word: int) -> int:
+        """Full final line state for a primary-input word."""
+        return self.apply_to_state(self.initial_state(input_word))
+
+    def to_permutation(self) -> np.ndarray:
+        """The permutation realised over all ``2**num_lines`` basis states.
+
+        Only sensible for circuits with a modest number of lines; larger
+        circuits should be checked with :mod:`repro.reversible.verification`
+        instead.
+        """
+        size = 1 << len(self._lines)
+        states = np.arange(size, dtype=np.int64)
+        for gate in self._gates:
+            care, polarity = gate.control_masks()
+            mask = (states & care) == polarity
+            states = np.where(mask, states ^ (1 << gate.target), states)
+        return states
+
+    def __repr__(self) -> str:
+        return (
+            f"ReversibleCircuit(name={self.name!r}, lines={self.num_lines()}, "
+            f"gates={self.num_gates()})"
+        )

@@ -1,0 +1,212 @@
+"""Embedding irreversible functions into reversible ones (Section II-B).
+
+Two embeddings are provided:
+
+* :func:`bennett_embedding` — Theorem 1 of the paper: keep the inputs and
+  XOR every output onto its own zero-initialised line (``m + n`` lines),
+* :func:`optimum_embedding` — the minimum-line embedding: the number of
+  additional lines equals ``ceil(log2(max collision set size))`` (Eq. (3)),
+  computed from the explicit function.  Computing this number is
+  coNP-complete in general [17]; as in the paper it is only applied to
+  functions that have already been collapsed to an explicit representation.
+
+Both return an :class:`EmbeddedFunction`: a reversible specification (as a
+permutation over the embedding's lines) together with the line roles needed
+to build and verify circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.logic.truth_table import TruthTable
+from repro.utils.bitops import clog2
+
+__all__ = [
+    "EmbeddedFunction",
+    "minimum_additional_lines",
+    "bennett_embedding",
+    "optimum_embedding",
+]
+
+
+@dataclass
+class EmbeddedFunction:
+    """A reversible embedding of an irreversible function.
+
+    ``permutation[s]`` is the image of the full line state ``s`` (an integer
+    over ``num_lines`` bits, line 0 being bit 0).  ``input_lines[i]`` is the
+    line carrying input bit ``i`` at the circuit boundary, ``output_lines[j]``
+    the line carrying output bit ``j`` after the transformation, and
+    ``constant_lines`` maps ancilla lines to their required initial value.
+    The remaining output values are garbage.
+    """
+
+    num_lines: int
+    permutation: np.ndarray
+    input_lines: List[int]
+    output_lines: List[int]
+    constant_lines: Dict[int, int]
+    source: TruthTable
+    kind: str
+
+    def num_inputs(self) -> int:
+        """Number of primary-input bits."""
+        return len(self.input_lines)
+
+    def num_outputs(self) -> int:
+        """Number of primary-output bits."""
+        return len(self.output_lines)
+
+    def additional_lines(self) -> int:
+        """Number of lines beyond the input count."""
+        return self.num_lines - len(self.input_lines)
+
+    def is_valid(self) -> bool:
+        """Check that the permutation is a bijection embedding the source."""
+        if sorted(self.permutation.tolist()) != list(range(1 << self.num_lines)):
+            return False
+        return self.check_embeds()
+
+    def check_embeds(self) -> bool:
+        """Check Eq. (1): with constants applied, the outputs realise f."""
+        for x in range(1 << self.source.num_inputs):
+            state = self.state_for_input(x)
+            image = int(self.permutation[state])
+            value = 0
+            for j, line in enumerate(self.output_lines):
+                if (image >> line) & 1:
+                    value |= 1 << j
+            if value != self.source.evaluate(x):
+                return False
+        return True
+
+    def state_for_input(self, input_word: int) -> int:
+        """Initial line state encoding a primary-input word."""
+        state = 0
+        for i, line in enumerate(self.input_lines):
+            if (input_word >> i) & 1:
+                state |= 1 << line
+        for line, value in self.constant_lines.items():
+            if value:
+                state |= 1 << line
+        return state
+
+
+def minimum_additional_lines(table: TruthTable) -> int:
+    """Eq. (3): ``ceil(log2(max |collision set|))`` additional lines."""
+    collisions = table.max_collisions()
+    if collisions <= 1:
+        return 0
+    return clog2(collisions)
+
+
+def bennett_embedding(table: TruthTable) -> EmbeddedFunction:
+    """Theorem 1: inputs preserved, outputs XORed onto fresh zero lines."""
+    n = table.num_inputs
+    m = table.num_outputs
+    num_lines = n + m
+
+    states = np.arange(1 << num_lines, dtype=np.int64)
+    input_part = states & ((1 << n) - 1)
+    output_part = states >> n
+    images = np.array(
+        [int(table.words[x]) for x in range(1 << n)], dtype=np.int64
+    )
+    permutation = (input_part | ((output_part ^ images[input_part]) << n)).astype(
+        np.int64
+    )
+
+    return EmbeddedFunction(
+        num_lines=num_lines,
+        permutation=permutation,
+        input_lines=list(range(n)),
+        output_lines=list(range(n, n + m)),
+        constant_lines={line: 0 for line in range(n, n + m)},
+        source=table,
+        kind="bennett",
+    )
+
+
+def optimum_embedding(table: TruthTable, extra_lines: Optional[int] = None) -> EmbeddedFunction:
+    """Minimum-line embedding computed from the explicit function.
+
+    The embedding uses ``r = max(n, m + l)`` lines where ``l`` is the bound
+    of Eq. (3).  The reversible function maps the state ``(x, 0)`` to a state
+    whose top ``m`` lines carry ``f(x)`` and whose remaining lines carry the
+    collision index of ``x`` within its output class (the garbage).  States
+    with non-zero ancilla inputs are completed to a bijection greedily.
+
+    ``extra_lines`` may force a larger number of additional lines (useful
+    for experiments); it must be at least the minimum.
+    """
+    n = table.num_inputs
+    m = table.num_outputs
+    minimum = minimum_additional_lines(table)
+    if extra_lines is None:
+        extra_lines = minimum
+    if extra_lines < minimum:
+        raise ValueError(
+            f"extra_lines={extra_lines} is below the minimum {minimum} required"
+        )
+    num_lines = max(n, m + extra_lines)
+    garbage_width = num_lines - m
+    size = 1 << num_lines
+
+    permutation = np.full(size, -1, dtype=np.int64)
+    used = np.zeros(size, dtype=bool)
+
+    # Assign the meaningful part of the domain: state (x padded with zero
+    # constants) maps to (garbage index, f(x)) with f on the top m lines.
+    # Among the free garbage indices of an output class we prefer the one
+    # matching the input's low bits: this keeps the embedded permutation
+    # close to the identity, which directly reduces the work (and therefore
+    # the T-count) of the downstream transformation-based synthesis.
+    garbage_used: Dict[int, set] = {}
+    garbage_mask = (1 << garbage_width) - 1
+    for x in range(1 << n):
+        value = int(table.words[x])
+        taken = garbage_used.setdefault(value, set())
+        preferred = x & garbage_mask
+        if preferred not in taken:
+            index = preferred
+        else:
+            index = next(i for i in range(1 << garbage_width) if i not in taken)
+        taken.add(index)
+        if len(taken) > (1 << garbage_width):
+            raise AssertionError(
+                "collision index exceeds garbage capacity; embedding bound violated"
+            )
+        image = (value << garbage_width) | index
+        permutation[x] = image
+        used[image] = True
+
+    # Complete the permutation for the remaining (don't-care) input states:
+    # keep every state that is still free as a fixed point, then match the
+    # leftovers in order.  Fixed points are free for the synthesis algorithm.
+    deferred = []
+    for state in range(size):
+        if permutation[state] >= 0:
+            continue
+        if not used[state]:
+            permutation[state] = state
+            used[state] = True
+        else:
+            deferred.append(state)
+    free_images = np.nonzero(~used)[0]
+    assert len(free_images) == len(deferred)
+    for state, image in zip(deferred, free_images):
+        permutation[state] = image
+
+    return EmbeddedFunction(
+        num_lines=num_lines,
+        permutation=permutation,
+        input_lines=list(range(n)),
+        output_lines=list(range(garbage_width, num_lines)),
+        constant_lines={line: 0 for line in range(n, num_lines)},
+        source=table,
+        kind="optimum",
+    )

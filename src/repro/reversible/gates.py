@@ -1,0 +1,131 @@
+"""Mixed-polarity multiple-controlled Toffoli (MPMCT) gates.
+
+This is the gate library of the paper (Section II-C): every gate has a set
+of positive or negative control lines and a single target line disjoint from
+the controls.  NOT (no controls) and CNOT (one control) are special cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+__all__ = ["ToffoliGate"]
+
+
+@dataclass(frozen=True)
+class ToffoliGate:
+    """A mixed-polarity multiple-controlled Toffoli gate.
+
+    ``controls`` is a tuple of ``(line, polarity)`` pairs where ``polarity``
+    is True for a positive control (triggers on 1) and False for a negative
+    control (triggers on 0).  ``target`` is the line whose value is inverted
+    when every control is satisfied.
+    """
+
+    controls: Tuple[Tuple[int, bool], ...]
+    target: int
+
+    def __post_init__(self) -> None:
+        lines = [line for line, _ in self.controls]
+        if len(set(lines)) != len(lines):
+            raise ValueError("control lines must be distinct")
+        if self.target in lines:
+            raise ValueError("the target line may not also be a control line")
+        if self.target < 0 or any(line < 0 for line in lines):
+            raise ValueError("line indices must be non-negative")
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def x(cls, target: int) -> "ToffoliGate":
+        """A NOT gate."""
+        return cls((), target)
+
+    @classmethod
+    def cnot(cls, control: int, target: int, polarity: bool = True) -> "ToffoliGate":
+        """A (possibly negative-control) CNOT gate."""
+        return cls(((control, polarity),), target)
+
+    @classmethod
+    def toffoli(cls, control_a: int, control_b: int, target: int) -> "ToffoliGate":
+        """A standard positive-control two-control Toffoli gate."""
+        return cls(((control_a, True), (control_b, True)), target)
+
+    @classmethod
+    def from_lines(
+        cls, positive: Iterable[int], negative: Iterable[int], target: int
+    ) -> "ToffoliGate":
+        """Build a gate from separate positive/negative control line lists."""
+        controls = tuple((line, True) for line in positive) + tuple(
+            (line, False) for line in negative
+        )
+        return cls(controls, target)
+
+    # -- queries ------------------------------------------------------------
+
+    def num_controls(self) -> int:
+        """Number of control lines."""
+        return len(self.controls)
+
+    def is_not(self) -> bool:
+        """True for an uncontrolled NOT gate."""
+        return not self.controls
+
+    def is_cnot(self) -> bool:
+        """True for a singly-controlled gate."""
+        return len(self.controls) == 1
+
+    def positive_controls(self) -> Tuple[int, ...]:
+        """Lines with positive controls."""
+        return tuple(line for line, polarity in self.controls if polarity)
+
+    def negative_controls(self) -> Tuple[int, ...]:
+        """Lines with negative controls."""
+        return tuple(line for line, polarity in self.controls if not polarity)
+
+    def lines(self) -> Tuple[int, ...]:
+        """All lines the gate touches (controls then target)."""
+        return tuple(line for line, _ in self.controls) + (self.target,)
+
+    def max_line(self) -> int:
+        """Highest line index used by the gate."""
+        return max(self.lines())
+
+    # -- semantics -----------------------------------------------------------
+
+    def control_masks(self) -> Tuple[int, int]:
+        """Bit masks ``(care, polarity)`` over line indices.
+
+        The gate triggers on a state ``s`` iff ``s & care == polarity``.
+        """
+        care = 0
+        polarity = 0
+        for line, positive in self.controls:
+            care |= 1 << line
+            if positive:
+                polarity |= 1 << line
+        return care, polarity
+
+    def applies_to(self, state: int) -> bool:
+        """True if the controls are satisfied in ``state`` (a bit vector)."""
+        care, polarity = self.control_masks()
+        return (state & care) == polarity
+
+    def apply(self, state: int) -> int:
+        """Apply the gate to a basis state given as an integer bit vector."""
+        if self.applies_to(state):
+            return state ^ (1 << self.target)
+        return state
+
+    def remapped(self, mapping: Dict[int, int]) -> "ToffoliGate":
+        """Return a copy with line indices translated through ``mapping``."""
+        controls = tuple((mapping[line], polarity) for line, polarity in self.controls)
+        return ToffoliGate(controls, mapping[self.target])
+
+    def __str__(self) -> str:
+        parts = []
+        for line, polarity in sorted(self.controls):
+            parts.append(f"{'' if polarity else '!'}x{line}")
+        control_text = ", ".join(parts) if parts else "-"
+        return f"T({control_text} -> x{self.target})"

@@ -1,0 +1,141 @@
+"""Post-synthesis optimisation of reversible circuits.
+
+The flows of the paper hand their Toffoli cascades directly to the cost
+model; real tool chains (RevKit, REVS) run cheap peephole passes first.
+This module provides the standard ones:
+
+* :func:`cancel_adjacent_gates` — two identical gates in a row are the
+  identity and are removed (Toffoli gates are involutions).  Gates are
+  allowed to commute past each other when they touch disjoint line sets or
+  when neither gate's target is involved in the other gate, which makes the
+  cancellation pass considerably more effective than a purely local scan.
+* :func:`merge_not_gates` — a NOT gate adjacent to a gate controlling the
+  same line is absorbed by flipping that control's polarity.
+* :func:`remove_trivial_gates` — gates whose control set can never be
+  satisfied (impossible with the data structure) or duplicated bookkeeping
+  entries are dropped; kept for API completeness and future passes.
+* :func:`optimize_circuit` — the standard script: NOT merging followed by
+  cancellation, iterated to a fixed point.
+
+All passes preserve the circuit function exactly (asserted by the
+test-suite via permutation comparison on small circuits and random
+simulation on larger ones).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.reversible.circuit import ReversibleCircuit
+from repro.reversible.gates import ToffoliGate
+
+__all__ = [
+    "cancel_adjacent_gates",
+    "merge_not_gates",
+    "remove_trivial_gates",
+    "optimize_circuit",
+]
+
+
+def _gates_commute(first: ToffoliGate, second: ToffoliGate) -> bool:
+    """Sufficient (not necessary) condition for two gates to commute.
+
+    Two Toffoli gates commute when neither gate's target line is used by the
+    other gate (as control or target), because then each gate leaves the
+    other's control values and target untouched.  They also commute when
+    both targets coincide... but that case is already covered by equality
+    cancellation, so it is not needed here.
+    """
+    first_lines = set(first.lines())
+    second_lines = set(second.lines())
+    if first.target in second_lines:
+        return False
+    if second.target in first_lines:
+        return False
+    return True
+
+
+def cancel_adjacent_gates(circuit: ReversibleCircuit) -> ReversibleCircuit:
+    """Remove pairs of identical gates that can be brought next to each other."""
+    gates = circuit.gates()
+    result: List[ToffoliGate] = []
+    for gate in gates:
+        # Try to find a matching gate to cancel with, scanning backwards over
+        # gates this one commutes with.
+        index = len(result) - 1
+        cancelled = False
+        while index >= 0:
+            candidate = result[index]
+            if candidate == gate:
+                del result[index]
+                cancelled = True
+                break
+            if not _gates_commute(candidate, gate):
+                break
+            index -= 1
+        if not cancelled:
+            result.append(gate)
+
+    return circuit.with_gates(result)
+
+
+def merge_not_gates(circuit: ReversibleCircuit) -> ReversibleCircuit:
+    """Absorb NOT gates into the control polarities of neighbouring gates.
+
+    A NOT on line ``l`` followed (eventually) by a gate with a control on
+    ``l`` can be pushed into that control by flipping its polarity, provided
+    the NOT commutes with every gate in between and a matching NOT exists
+    later to push into as well — the simple variant implemented here absorbs
+    a NOT pair around a single gate:  ``X(l) . G(l...) . X(l)`` becomes
+    ``G(l')``.  This is the pattern produced by negative-control emulation
+    and by the OR blocks of the hierarchical flow.
+    """
+    gates = circuit.gates()
+    result: List[ToffoliGate] = list(gates)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(result) - 2):
+            first = result[i]
+            middle = result[i + 1]
+            last = result[i + 2]
+            if not (first.is_not() and last.is_not() and first.target == last.target):
+                continue
+            line = first.target
+            if middle.target == line:
+                continue
+            controls = dict(middle.controls)
+            if line not in controls:
+                continue
+            controls[line] = not controls[line]
+            result[i + 1] = ToffoliGate(tuple(controls.items()), middle.target)
+            # Remove the surrounding NOT gates (last first to keep indices).
+            del result[i + 2]
+            del result[i]
+            changed = True
+            break
+
+    return circuit.with_gates(result)
+
+
+def remove_trivial_gates(circuit: ReversibleCircuit) -> ReversibleCircuit:
+    """Drop gates that provably do nothing.
+
+    With the current gate data structure the only representable trivial gate
+    is a duplicate adjacent pair (handled by cancellation), so this pass
+    simply returns a copy; it exists so that flow scripts can list it and
+    future gate types (e.g. controlled phase) can hook in.
+    """
+    return circuit.copy()
+
+
+def optimize_circuit(circuit: ReversibleCircuit, max_rounds: int = 4) -> ReversibleCircuit:
+    """NOT-merging and cancellation iterated to a fixed point."""
+    current = circuit
+    for _ in range(max_rounds):
+        merged = merge_not_gates(current)
+        cancelled = cancel_adjacent_gates(merged)
+        if cancelled.num_gates() == current.num_gates():
+            return cancelled
+        current = cancelled
+    return current

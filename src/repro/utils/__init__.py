@@ -1,0 +1,21 @@
+"""Shared low-level utilities: bit manipulation and table rendering."""
+
+from repro.utils.bitops import (
+    bit_length,
+    bits_to_int,
+    clog2,
+    int_to_bits,
+    iter_minterms,
+    popcount,
+)
+from repro.utils.tables import format_table
+
+__all__ = [
+    "bit_length",
+    "bits_to_int",
+    "clog2",
+    "format_table",
+    "int_to_bits",
+    "iter_minterms",
+    "popcount",
+]

@@ -1,0 +1,223 @@
+"""Unit tests for the reversible arithmetic building blocks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith.adders import controlled_add, cuccaro_add, cuccaro_subtract
+from repro.arith.divider import build_restoring_divider, divider_reference
+from repro.arith.fixed_point import (
+    FixedPointFormat,
+    from_fixed,
+    to_fixed,
+    truncated_multiply,
+)
+from repro.arith.multiplier import build_multiplier
+from repro.reversible.circuit import ReversibleCircuit
+
+
+def build_adder_test_circuit(width, subtract=False, carry_out=True):
+    circuit = ReversibleCircuit("adder")
+    a = [circuit.add_input_line(i, f"a{i}") for i in range(width)]
+    b = [circuit.add_input_line(width + i, f"b{i}") for i in range(width)]
+    carry = circuit.add_constant_line(0, "c")
+    out = circuit.add_constant_line(0, "z") if carry_out else None
+    if subtract:
+        cuccaro_subtract(circuit, a, b, carry, borrow_out=out)
+    else:
+        cuccaro_add(circuit, a, b, carry, carry_out=out)
+    return circuit, a, b, carry, out
+
+
+def run_register_circuit(circuit, assignments):
+    """Simulate with a dict line->bit and return the final state."""
+    state = 0
+    for line, bit in assignments.items():
+        if bit:
+            state |= 1 << line
+    return circuit.apply_to_state(state)
+
+
+def read_register(state, lines):
+    value = 0
+    for i, line in enumerate(lines):
+        if (state >> line) & 1:
+            value |= 1 << i
+    return value
+
+
+class TestCuccaroAdder:
+    @given(st.integers(min_value=0, max_value=31), st.integers(min_value=0, max_value=31))
+    @settings(max_examples=80, deadline=None)
+    def test_addition(self, a_value, b_value):
+        width = 5
+        circuit, a, b, carry, out = build_adder_test_circuit(width)
+        assignments = {}
+        for i in range(width):
+            assignments[a[i]] = (a_value >> i) & 1
+            assignments[b[i]] = (b_value >> i) & 1
+        state = run_register_circuit(circuit, assignments)
+        total = a_value + b_value
+        assert read_register(state, b) == total & 31
+        assert read_register(state, [out]) == total >> 5
+        assert read_register(state, a) == a_value  # addend preserved
+        assert read_register(state, [carry]) == 0  # ancilla restored
+
+    @given(st.integers(min_value=0, max_value=31), st.integers(min_value=0, max_value=31))
+    @settings(max_examples=80, deadline=None)
+    def test_subtraction(self, a_value, b_value):
+        width = 5
+        circuit, a, b, carry, out = build_adder_test_circuit(width, subtract=True)
+        assignments = {}
+        for i in range(width):
+            assignments[a[i]] = (a_value >> i) & 1
+            assignments[b[i]] = (b_value >> i) & 1
+        state = run_register_circuit(circuit, assignments)
+        assert read_register(state, b) == (b_value - a_value) & 31
+        assert read_register(state, [out]) == int(b_value < a_value)
+        assert read_register(state, a) == a_value
+        assert read_register(state, [carry]) == 0
+
+    def test_width_mismatch_rejected(self):
+        circuit = ReversibleCircuit()
+        lines = [circuit.add_constant_line(0) for _ in range(5)]
+        with pytest.raises(ValueError):
+            cuccaro_add(circuit, lines[:2], lines[2:5], lines[0])
+
+    def test_t_count_scales_linearly(self):
+        widths = [4, 8, 16]
+        counts = []
+        for width in widths:
+            circuit, *_ = build_adder_test_circuit(width)
+            counts.append(circuit.t_count())
+        # 2 Toffolis per bit position -> 14 T per bit with the rtof model.
+        assert counts == [2 * width * 7 for width in widths]
+
+
+class TestControlledAdd:
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_controlled_addition(self, a_value, b_value, control_value):
+        width = 4
+        circuit = ReversibleCircuit()
+        control = circuit.add_input_line(0, "ctl")
+        a = [circuit.add_input_line(1 + i) for i in range(width)]
+        b = [circuit.add_input_line(1 + width + i) for i in range(width)]
+        mask = [circuit.add_constant_line(0) for _ in range(width)]
+        carry = circuit.add_constant_line(0)
+        controlled_add(circuit, control, a, b, mask, carry)
+
+        assignments = {control: int(control_value)}
+        for i in range(width):
+            assignments[a[i]] = (a_value >> i) & 1
+            assignments[b[i]] = (b_value >> i) & 1
+        state = run_register_circuit(circuit, assignments)
+        expected = (b_value + a_value) & 15 if control_value else b_value
+        assert read_register(state, b) == expected
+        assert read_register(state, a) == a_value
+        assert read_register(state, mask) == 0
+        assert read_register(state, [carry]) == 0
+
+    def test_mask_width_checked(self):
+        circuit = ReversibleCircuit()
+        lines = [circuit.add_constant_line(0) for _ in range(10)]
+        with pytest.raises(ValueError):
+            controlled_add(circuit, lines[0], lines[1:4], lines[4:7], lines[7:8], lines[9])
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_exhaustive_small_widths(self, width):
+        circuit = build_multiplier(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                word = circuit.evaluate(a | (b << width))
+                assert word == a * b
+
+    def test_scratch_restored(self):
+        width = 3
+        circuit = build_multiplier(width)
+        for x in (0b101_011, 0b111_111):
+            state = circuit.final_state(x)
+            for line, value in circuit.constant_lines().items():
+                if not circuit.line_info(line).is_output():
+                    assert (state >> line) & 1 == value
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            build_multiplier(0)
+
+
+class TestRestoringDivider:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_exhaustive_small_widths(self, width):
+        circuit = build_restoring_divider(width)
+        for dividend in range(1 << width):
+            for divisor in range(1, 1 << width):
+                word = circuit.evaluate(dividend | (divisor << width))
+                quotient = word & ((1 << width) - 1)
+                remainder = word >> width
+                expected_q, expected_r = divider_reference(width, dividend, divisor)
+                assert quotient == expected_q
+                assert remainder == expected_r
+
+    def test_divisor_preserved(self):
+        width = 3
+        circuit = build_restoring_divider(width)
+        for dividend, divisor in ((5, 3), (7, 1), (6, 6)):
+            state = circuit.final_state(dividend | (divisor << width))
+            lines = circuit.input_lines()
+            read = 0
+            for i in range(width):
+                if (state >> lines[width + i]) & 1:
+                    read |= 1 << i
+            assert read == divisor
+
+    def test_reference_division_by_zero_convention(self):
+        assert divider_reference(4, 9, 0) == (15, 9)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            build_restoring_divider(0)
+
+
+class TestFixedPoint:
+    def test_roundtrip(self):
+        fmt = FixedPointFormat(3, 8)
+        assert from_fixed(to_fixed(1.5, fmt), fmt) == pytest.approx(1.5)
+        assert fmt.total_bits() == 11
+        assert fmt.scale() == 256
+
+    def test_bounds_checked(self):
+        fmt = FixedPointFormat(1, 3)
+        with pytest.raises(ValueError):
+            to_fixed(4.0, fmt)
+        with pytest.raises(ValueError):
+            to_fixed(-1.0, fmt)
+        with pytest.raises(ValueError):
+            from_fixed(1 << 10, fmt)
+        with pytest.raises(ValueError):
+            FixedPointFormat(-1, 3)
+        with pytest.raises(ValueError):
+            FixedPointFormat(0, 0)
+
+    def test_truncated_multiply_matches_paper_operator(self):
+        # Q3.4 times Q3.4 truncated back to Q3.4.
+        fmt = FixedPointFormat(3, 4)
+        u = to_fixed(1.5, fmt)
+        v = to_fixed(2.25, fmt)
+        product = truncated_multiply(u, fmt, v, fmt, fmt)
+        assert from_fixed(product, fmt) == pytest.approx(3.375, abs=1 / 16)
+
+    @given(st.integers(min_value=0, max_value=127), st.integers(min_value=0, max_value=127))
+    @settings(max_examples=100)
+    def test_truncation_never_rounds_up(self, u, v):
+        fmt = FixedPointFormat(3, 4)
+        product = truncated_multiply(u, fmt, v, fmt, fmt)
+        exact = (u / 16) * (v / 16)
+        if exact <= fmt.max_value():
+            assert from_fixed(product, fmt) <= exact + 1e-12

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_flow_defaults(self):
+        args = build_parser().parse_args(["flow", "--flow", "esop"])
+        args.bitwidth == 8
+        assert args.design == "intdiv"
+        assert args.factoring == 0
+
+    def test_unknown_flow_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["flow", "--flow", "magic"])
+
+
+class TestCommands:
+    def test_designs_command_prints_verilog(self, capsys):
+        assert main(["designs", "--design", "newton", "-n", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "module newton" in output
+
+    def test_baselines_command(self, capsys):
+        assert main(["baselines", "-n", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "RESDIV" in output and "QNEWTON" in output
+
+    def test_flow_command_esop(self, capsys):
+        assert main(["flow", "--flow", "esop", "--design", "intdiv", "-n", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "T-count" in output
+        assert "verified" in output
+
+    def test_flow_command_writes_real_and_qasm(self, tmp_path, capsys):
+        real_path = tmp_path / "circuit.real"
+        qasm_path = tmp_path / "circuit.qasm"
+        exit_code = main(
+            [
+                "flow",
+                "--flow",
+                "esop",
+                "--design",
+                "intdiv",
+                "-n",
+                "4",
+                "--real",
+                str(real_path),
+                "--qasm",
+                str(qasm_path),
+            ]
+        )
+        assert exit_code == 0
+        assert real_path.exists() and ".numvars" in real_path.read_text()
+        assert qasm_path.exists() and "OPENQASM 2.0;" in qasm_path.read_text()
+
+    def test_flow_command_with_verilog_file(self, tmp_path, capsys):
+        source = tmp_path / "buffer.v"
+        source.write_text(
+            "module buffer (input [2:0] a, output [2:0] y); assign y = a; endmodule\n"
+        )
+        exit_code = main(
+            [
+                "flow",
+                "--flow",
+                "hierarchical",
+                "--design",
+                "buffer",
+                "-n",
+                "3",
+                "--verilog",
+                str(source),
+            ]
+        )
+        assert exit_code == 0
+        assert "qubits" in capsys.readouterr().out
+
+    def test_explore_command(self, capsys):
+        exit_code = main(["explore", "--design", "intdiv", "-n", "4", "--no-verify"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Pareto front" in output
+        assert "symbolic" in output

@@ -1,0 +1,108 @@
+"""Tests for the INTDIV(n) and NEWTON(n) reciprocal designs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl.designs import (
+    intdiv_reference,
+    intdiv_verilog,
+    newton_iterations,
+    newton_reference,
+    newton_verilog,
+    reciprocal_exact,
+)
+from repro.hdl.synthesize import synthesize_reciprocal_design, synthesize_to_netlist
+
+
+class TestReferenceModels:
+    def test_paper_example(self):
+        # Example 1 of the paper: n = 8, x = 22 -> y = 0b00001011.
+        assert intdiv_reference(8, 22) == 0b00001011
+
+    def test_intdiv_extremes(self):
+        assert intdiv_reference(8, 1) == 0  # 2^8 / 1 overflows into the dropped MSB
+        assert intdiv_reference(8, 255) == 1
+        assert intdiv_reference(8, 0) == 255  # division-by-zero convention
+        assert intdiv_reference(8, 128) == 2
+
+    @given(st.integers(min_value=2, max_value=10), st.integers(min_value=1, max_value=1023))
+    @settings(max_examples=200)
+    def test_intdiv_matches_floor(self, n, x):
+        x %= 1 << n
+        if x == 0:
+            return
+        assert intdiv_reference(n, x) == ((1 << n) // x) & ((1 << n) - 1)
+
+    def test_newton_iteration_counts(self):
+        assert newton_iterations(8) == 2
+        assert newton_iterations(16) == 3
+        assert newton_iterations(32) == 4
+        assert newton_iterations(64) == 4
+        assert newton_iterations(128) == 5
+
+    @given(st.integers(min_value=4, max_value=12), st.integers(min_value=1, max_value=4095))
+    @settings(max_examples=300)
+    def test_newton_close_to_exact(self, n, x):
+        x %= 1 << n
+        if x == 0:
+            return
+        approx = newton_reference(n, x)
+        exact = reciprocal_exact(n, x)
+        # x = 1 is the non-representable 1.0 case: NEWTON saturates at
+        # 0.111...1 (error 1 ulp), which the tolerance below covers.
+        assert abs(approx - exact) <= 4.0
+
+    @given(st.integers(min_value=4, max_value=10), st.integers(min_value=2, max_value=1023))
+    @settings(max_examples=200)
+    def test_newton_close_to_intdiv(self, n, x):
+        x %= 1 << n
+        if x <= 1:
+            return
+        assert abs(newton_reference(n, x) - intdiv_reference(n, x)) <= 4
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            intdiv_reference(0, 3)
+        with pytest.raises(ValueError):
+            newton_reference(0, 3)
+        with pytest.raises(ValueError):
+            newton_iterations(0)
+        with pytest.raises(ValueError):
+            reciprocal_exact(4, 0)
+
+
+class TestGeneratedVerilog:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 8])
+    def test_intdiv_netlist_matches_reference(self, n):
+        netlist = synthesize_to_netlist(intdiv_verilog(n))
+        for x in range(1 << n):
+            assert netlist.evaluate({"x": x})["y"] == intdiv_reference(n, x)
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 8])
+    def test_newton_netlist_matches_reference(self, n):
+        netlist = synthesize_to_netlist(newton_verilog(n))
+        for x in range(1 << n):
+            assert netlist.evaluate({"x": x})["y"] == newton_reference(n, x)
+
+    @pytest.mark.parametrize("design", ["intdiv", "newton"])
+    def test_bitblasted_design_matches_reference(self, design):
+        n = 5
+        reference = intdiv_reference if design == "intdiv" else newton_reference
+        _, aig = synthesize_reciprocal_design(design, n)
+        assert aig.num_pis() == n
+        assert aig.num_pos() == n
+        table = aig.to_truth_table()
+        for x in range(1 << n):
+            assert table.evaluate(x) == reference(n, x)
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_reciprocal_design("cordic", 8)
+
+    def test_generated_source_mentions_parameters(self):
+        source = intdiv_verilog(12)
+        assert "parameter N = 12" in source
+        source = newton_verilog(6)
+        assert "parameter N = 6" in source
+        assert source.count("Newton iteration") == newton_iterations(6)

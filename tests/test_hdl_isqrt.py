@@ -1,0 +1,90 @@
+"""Tests for the ISQRT(n) inverse-square-root design."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flows import design_source, run_flow
+from repro.hdl.isqrt import isqrt_exact, isqrt_iterations, isqrt_reference, isqrt_verilog
+from repro.hdl.synthesize import synthesize_to_netlist, synthesize_verilog
+
+
+class TestReferenceModel:
+    def test_iteration_counts_grow_slowly(self):
+        assert isqrt_iterations(4) <= isqrt_iterations(8) <= isqrt_iterations(16)
+        assert isqrt_iterations(8) >= 2
+
+    def test_perfect_squares(self):
+        # The iteration truncates towards zero, so perfect squares land at
+        # most one ulp below the exact value: 1/sqrt(4) = 0.5, 1/sqrt(16) = 0.25.
+        n = 6
+        assert abs(isqrt_reference(n, 4) - (1 << n) // 2) <= 1
+        assert abs(isqrt_reference(n, 16) - (1 << n) // 4) <= 1
+
+    def test_one_saturates(self):
+        # 1/sqrt(1) = 1.0 is not representable; the design truncates to 0
+        # (the same convention as INTDIV/NEWTON for x = 1).
+        assert isqrt_reference(6, 1) in (0, (1 << 6) - 1)
+
+    @given(st.integers(min_value=4, max_value=10), st.integers(min_value=2, max_value=1023))
+    @settings(max_examples=200)
+    def test_close_to_exact(self, n, x):
+        x %= 1 << n
+        if x < 2:
+            return
+        approx = isqrt_reference(n, x)
+        exact = isqrt_exact(n, x)
+        assert abs(approx - exact) <= max(4.0, exact * 0.05)
+
+    @given(st.integers(min_value=2, max_value=255))
+    @settings(max_examples=100)
+    def test_monotone_decreasing(self, x):
+        n = 8
+        assert isqrt_reference(n, x) >= isqrt_reference(n, min(255, x + 1)) - 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            isqrt_reference(0, 3)
+        with pytest.raises(ValueError):
+            isqrt_iterations(0)
+        with pytest.raises(ValueError):
+            isqrt_exact(4, 0)
+        with pytest.raises(ValueError):
+            isqrt_verilog(0)
+
+
+class TestGeneratedVerilog:
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_netlist_matches_reference(self, n):
+        netlist = synthesize_to_netlist(isqrt_verilog(n))
+        for x in range(1 << n):
+            assert netlist.evaluate({"x": x})["y"] == isqrt_reference(n, x)
+
+    def test_bitblast_matches_reference(self):
+        n = 4
+        aig = synthesize_verilog(isqrt_verilog(n))
+        table = aig.to_truth_table()
+        for x in range(1 << n):
+            assert table.evaluate(x) == isqrt_reference(n, x)
+
+    def test_design_source_registered(self):
+        source = design_source("isqrt", 5)
+        assert "module isqrt" in source
+        assert source.count("Newton iteration") == isqrt_iterations(5)
+
+
+class TestIsqrtThroughFlows:
+    @pytest.mark.parametrize("flow", ["esop", "hierarchical"])
+    def test_flows_verify(self, flow):
+        result = run_flow(flow, "isqrt", 4)
+        assert result.report.verified is True
+        assert result.report.qubits > 0
+
+    def test_symbolic_flow_line_optimal(self):
+        result = run_flow("symbolic", "isqrt", 4)
+        assert result.report.verified is True
+        # The inverse square root also collides heavily, so the optimum
+        # embedding needs fewer than the Bennett bound of 2n lines.
+        assert result.report.qubits <= 2 * 4

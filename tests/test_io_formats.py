@@ -1,0 +1,194 @@
+"""Tests for the AIGER / PLA / REAL / QASM interchange formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl.synthesize import synthesize_reciprocal_design
+from repro.io.aiger import read_aiger, write_aiger
+from repro.io.pla import read_pla, write_pla
+from repro.io.qasm import write_qasm
+from repro.io.realfmt import read_real, write_real
+from repro.logic.aig import Aig, lit_not
+from repro.logic.esop import esop_from_columns
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.mapping import map_to_clifford_t
+from repro.reversible.circuit import ReversibleCircuit
+from repro.reversible.esop_synth import esop_synthesis
+from repro.reversible.gates import ToffoliGate
+
+
+def build_sample_aig():
+    aig = Aig("sample")
+    a, b, c = aig.add_pi("a"), aig.add_pi("b"), aig.add_pi("c")
+    aig.add_po(aig.create_xor(aig.create_and(a, b), c), "f")
+    aig.add_po(lit_not(aig.create_or(a, c)), "g")
+    return aig
+
+
+class TestAiger:
+    def test_roundtrip_preserves_function(self):
+        aig = build_sample_aig()
+        text = write_aiger(aig)
+        parsed = read_aiger(text)
+        assert parsed.num_pis() == aig.num_pis()
+        assert parsed.num_pos() == aig.num_pos()
+        assert parsed.to_truth_table() == aig.to_truth_table()
+        assert parsed.pi_names() == aig.pi_names()
+        assert parsed.po_names() == aig.po_names()
+
+    def test_header_counts(self):
+        aig = build_sample_aig()
+        text = write_aiger(aig)
+        header = text.splitlines()[0].split()
+        assert header[0] == "aag"
+        assert int(header[2]) == 3  # inputs
+        assert int(header[4]) == 2  # outputs
+
+    def test_reciprocal_roundtrip(self):
+        _, aig = synthesize_reciprocal_design("intdiv", 4)
+        parsed = read_aiger(write_aiger(aig))
+        assert parsed.to_truth_table() == aig.to_truth_table()
+
+    def test_invalid_header_rejected(self):
+        with pytest.raises(ValueError):
+            read_aiger("not an aiger file")
+        with pytest.raises(ValueError):
+            read_aiger("")
+
+    def test_latches_rejected(self):
+        with pytest.raises(ValueError):
+            read_aiger("aag 3 1 1 1 0\n2\n4\n6\n")
+
+    def test_truncated_file_rejected(self):
+        with pytest.raises(ValueError):
+            read_aiger("aag 3 2 0 1 1\n2\n4")
+
+    def test_without_symbols(self):
+        aig = build_sample_aig()
+        parsed = read_aiger(write_aiger(aig, include_symbols=False))
+        assert parsed.to_truth_table() == aig.to_truth_table()
+        assert parsed.pi_names() == ["pi0", "pi1", "pi2"]
+
+
+class TestPla:
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=3))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_preserves_cover(self, columns):
+        cover = esop_from_columns(columns, 3)
+        parsed = read_pla(write_pla(cover))
+        assert parsed.num_inputs == cover.num_inputs
+        assert parsed.num_outputs == cover.num_outputs
+        assert parsed.to_truth_table() == cover.to_truth_table()
+
+    def test_names_emitted(self):
+        cover = esop_from_columns([0b1000], 2)
+        text = write_pla(cover, input_names=["a", "b"], output_names=["f"])
+        assert ".ilb a b" in text
+        assert ".ob f" in text
+        assert ".type fr" in text
+
+    def test_name_length_validation(self):
+        cover = esop_from_columns([0b1000], 2)
+        with pytest.raises(ValueError):
+            write_pla(cover, input_names=["a"])
+        with pytest.raises(ValueError):
+            write_pla(cover, output_names=["f", "g"])
+
+    def test_sop_type_with_disjoint_terms_accepted(self):
+        text = ".i 2\n.o 1\n.type f\n11 1\n00 1\n.e\n"
+        cover = read_pla(text)
+        assert cover.num_terms() == 2
+
+    def test_sop_type_with_overlap_rejected(self):
+        text = ".i 2\n.o 1\n.type f\n1- 1\n11 1\n.e\n"
+        with pytest.raises(ValueError):
+            read_pla(text)
+
+    def test_malformed_files_rejected(self):
+        with pytest.raises(ValueError):
+            read_pla("11 1\n")  # term before .i/.o
+        with pytest.raises(ValueError):
+            read_pla(".i 2\n.o 1\n.foo\n")
+        with pytest.raises(ValueError):
+            read_pla(".i 2\n.o 1\n111 1\n")  # wrong input width
+        with pytest.raises(ValueError):
+            read_pla(".i 2\n")
+
+
+class TestReal:
+    def build_circuit(self):
+        circuit = ReversibleCircuit("sample")
+        a = circuit.add_input_line(0, "a")
+        b = circuit.add_input_line(1, "b")
+        anc = circuit.add_constant_line(0, "anc")
+        out = circuit.add_constant_line(0, "out")
+        circuit.set_output(out, 0)
+        circuit.set_garbage(anc)
+        circuit.append(ToffoliGate.toffoli(a, b, anc))
+        circuit.append(ToffoliGate.from_lines([anc], [a], out))
+        circuit.append(ToffoliGate.x(anc))
+        return circuit
+
+    def test_write_contains_header(self):
+        text = write_real(self.build_circuit())
+        assert ".numvars 4" in text
+        assert ".variables a b anc out" in text
+        assert ".begin" in text and ".end" in text
+        assert "t3 a b anc" in text
+        assert "-a" in text  # negative control marker
+
+    def test_roundtrip_gates(self):
+        circuit = self.build_circuit()
+        parsed = read_real(write_real(circuit))
+        assert parsed.num_lines() == circuit.num_lines()
+        assert parsed.num_gates() == circuit.num_gates()
+        assert np.array_equal(parsed.to_permutation(), circuit.to_permutation())
+
+    def test_constants_become_ancillas(self):
+        parsed = read_real(write_real(self.build_circuit()))
+        assert len(parsed.constant_lines()) == 2
+
+    def test_esop_circuit_roundtrip(self):
+        cover = esop_from_columns([0b0110, 0b1000], 2)
+        circuit = esop_synthesis(cover)
+        parsed = read_real(write_real(circuit))
+        assert np.array_equal(parsed.to_permutation(), circuit.to_permutation())
+
+    def test_missing_variables_rejected(self):
+        with pytest.raises(ValueError):
+            read_real(".version 2.0\n.begin\n.end\n")
+
+    def test_unsupported_gate_rejected(self):
+        text = ".variables a b\n.begin\nf2 a b\n.end\n"
+        with pytest.raises(ValueError):
+            read_real(text)
+
+
+class TestQasm:
+    def test_simple_circuit(self):
+        circuit = QuantumCircuit(2)
+        circuit.add("h", 0)
+        circuit.add("cx", 0, 1)
+        circuit.add("tdg", 1)
+        text = write_qasm(circuit)
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[2];" in text
+        assert "h q[0];" in text
+        assert "cx q[0], q[1];" in text
+        assert "tdg q[1];" in text
+
+    def test_custom_register_name(self):
+        circuit = QuantumCircuit(1)
+        circuit.add("x", 0)
+        assert "x anc[0];" in write_qasm(circuit, register="anc")
+
+    def test_mapped_reciprocal_exports(self):
+        _, aig = synthesize_reciprocal_design("intdiv", 3)
+        from repro.logic.esop import esop_from_truth_table
+
+        circuit = esop_synthesis(esop_from_truth_table(aig.to_truth_table()))
+        quantum = map_to_clifford_t(circuit)
+        text = write_qasm(quantum)
+        assert text.count("\n") == quantum.num_gates() + 3

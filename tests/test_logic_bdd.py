@@ -1,0 +1,142 @@
+"""Unit tests for the BDD manager."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.bdd import BddManager
+from repro.logic.truth_table import tt_mask, tt_var
+
+
+class TestBddBasics:
+    def test_constants(self):
+        manager = BddManager(2)
+        assert manager.false() == 0
+        assert manager.true() == 1
+        assert manager.is_terminal(manager.true())
+
+    def test_variable_evaluation(self):
+        manager = BddManager(3)
+        x1 = manager.variable(1)
+        assert manager.evaluate(x1, 0b010)
+        assert not manager.evaluate(x1, 0b101)
+
+    def test_nvariable(self):
+        manager = BddManager(2)
+        nx0 = manager.nvariable(0)
+        assert manager.evaluate(nx0, 0b10)
+        assert not manager.evaluate(nx0, 0b01)
+
+    def test_variable_out_of_range(self):
+        manager = BddManager(2)
+        with pytest.raises(ValueError):
+            manager.variable(2)
+
+    def test_reduction_no_redundant_nodes(self):
+        manager = BddManager(2)
+        x0 = manager.variable(0)
+        # x0 AND x0 must not create new nodes.
+        before = manager.size()
+        assert manager.apply_and(x0, x0) == x0
+        assert manager.size() == before
+
+    def test_structural_hashing(self):
+        manager = BddManager(3)
+        a = manager.apply_and(manager.variable(0), manager.variable(1))
+        b = manager.apply_and(manager.variable(1), manager.variable(0))
+        assert a == b
+
+
+class TestBddOperations:
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=100)
+    def test_connectives_match_truth_tables(self, fa, fb):
+        manager = BddManager(3)
+        a = manager.from_truth_table(fa)
+        b = manager.from_truth_table(fb)
+        assert manager.to_truth_table(manager.apply_and(a, b)) == (fa & fb)
+        assert manager.to_truth_table(manager.apply_or(a, b)) == (fa | fb)
+        assert manager.to_truth_table(manager.apply_xor(a, b)) == (fa ^ fb)
+        assert manager.to_truth_table(manager.apply_not(a)) == (fa ^ 0xFF)
+
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=100)
+    def test_from_to_truth_table_roundtrip(self, func):
+        manager = BddManager(3)
+        node = manager.from_truth_table(func)
+        assert manager.to_truth_table(node) == func
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=50)
+    def test_ite_semantics(self, ff, fg, fh):
+        manager = BddManager(3)
+        f = manager.from_truth_table(ff)
+        g = manager.from_truth_table(fg)
+        h = manager.from_truth_table(fh)
+        expected = (ff & fg) | ((ff ^ 0xFF) & fh)
+        assert manager.to_truth_table(manager.ite(f, g, h)) == expected
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    @settings(max_examples=100)
+    def test_satcount(self, func):
+        manager = BddManager(4)
+        node = manager.from_truth_table(func)
+        assert manager.satcount(node) == bin(func).count("1")
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=2),
+        st.booleans(),
+    )
+    @settings(max_examples=100)
+    def test_restrict(self, func, var, value):
+        manager = BddManager(3)
+        node = manager.from_truth_table(func)
+        restricted = manager.restrict(node, var, value)
+        for x in range(8):
+            forced = (x | (1 << var)) if value else (x & ~(1 << var))
+            assert manager.evaluate(restricted, x) == bool((func >> forced) & 1)
+
+    def test_compose(self):
+        manager = BddManager(3)
+        # f = x0 AND x1; substitute x1 := x2 -> x0 AND x2.
+        f = manager.apply_and(manager.variable(0), manager.variable(1))
+        composed = manager.compose(f, 1, manager.variable(2))
+        expected = manager.apply_and(manager.variable(0), manager.variable(2))
+        assert composed == expected
+
+    def test_quantification(self):
+        manager = BddManager(2)
+        f = manager.apply_and(manager.variable(0), manager.variable(1))
+        assert manager.exists(f, [0]) == manager.variable(1)
+        assert manager.forall(f, [0]) == manager.false()
+
+    def test_support(self):
+        manager = BddManager(4)
+        f = manager.apply_xor(manager.variable(0), manager.variable(3))
+        assert manager.support(f) == [0, 3]
+
+    def test_node_count(self):
+        manager = BddManager(3)
+        f = manager.apply_and(
+            manager.variable(0), manager.apply_and(manager.variable(1), manager.variable(2))
+        )
+        assert manager.node_count([f]) == 3
+
+    def test_one_paths_cover_function(self):
+        manager = BddManager(3)
+        func = 0b10010110
+        node = manager.from_truth_table(func)
+        covered = 0
+        for path in manager.one_paths(node):
+            for x in range(8):
+                if all(((x >> var) & 1) == int(val) for var, val in path.items()):
+                    covered |= 1 << x
+        assert covered == func

@@ -1,0 +1,140 @@
+"""Deeper property-based tests for the BDD manager.
+
+These complement ``test_logic_bdd.py`` with algebraic identities (De Morgan,
+Shannon expansion, ITE consistency), structural canonicity properties and
+consistency between the BDD and explicit truth-table semantics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.bdd import BddManager
+from repro.logic.truth_table import tt_mask
+
+NUM_VARS = 4
+FUNC = st.integers(min_value=0, max_value=(1 << (1 << NUM_VARS)) - 1)
+
+
+def manager_with(funcs):
+    manager = BddManager(NUM_VARS)
+    return manager, [manager.from_truth_table(f) for f in funcs]
+
+
+class TestAlgebraicIdentities:
+    @given(FUNC, FUNC)
+    @settings(max_examples=150)
+    def test_de_morgan(self, fa, fb):
+        manager, (a, b) = manager_with([fa, fb])
+        left = manager.apply_not(manager.apply_and(a, b))
+        right = manager.apply_or(manager.apply_not(a), manager.apply_not(b))
+        assert left == right
+
+    @given(FUNC, FUNC)
+    @settings(max_examples=150)
+    def test_absorption(self, fa, fb):
+        manager, (a, b) = manager_with([fa, fb])
+        assert manager.apply_or(a, manager.apply_and(a, b)) == a
+        assert manager.apply_and(a, manager.apply_or(a, b)) == a
+
+    @given(FUNC, FUNC, FUNC)
+    @settings(max_examples=100)
+    def test_distributivity(self, fa, fb, fc):
+        manager, (a, b, c) = manager_with([fa, fb, fc])
+        left = manager.apply_and(a, manager.apply_or(b, c))
+        right = manager.apply_or(manager.apply_and(a, b), manager.apply_and(a, c))
+        assert left == right
+
+    @given(FUNC, st.integers(min_value=0, max_value=NUM_VARS - 1))
+    @settings(max_examples=150)
+    def test_shannon_expansion(self, func, var):
+        manager, (f,) = manager_with([func])
+        x = manager.variable(var)
+        expansion = manager.apply_or(
+            manager.apply_and(x, manager.restrict(f, var, True)),
+            manager.apply_and(manager.apply_not(x), manager.restrict(f, var, False)),
+        )
+        assert expansion == f
+
+    @given(FUNC, FUNC)
+    @settings(max_examples=150)
+    def test_xor_via_ite(self, fa, fb):
+        manager, (a, b) = manager_with([fa, fb])
+        assert manager.apply_xor(a, b) == manager.ite(a, manager.apply_not(b), b)
+
+    @given(FUNC, FUNC)
+    @settings(max_examples=100)
+    def test_xnor_is_complement_of_xor(self, fa, fb):
+        manager, (a, b) = manager_with([fa, fb])
+        assert manager.apply_xnor(a, b) == manager.apply_not(manager.apply_xor(a, b))
+
+
+class TestCanonicity:
+    @given(FUNC)
+    @settings(max_examples=150)
+    def test_same_function_same_node(self, func):
+        manager = BddManager(NUM_VARS)
+        first = manager.from_truth_table(func)
+        # Rebuild the function through a different syntactic route.
+        second = manager.apply_or(
+            manager.apply_and(first, manager.true()), manager.false()
+        )
+        assert first == second
+
+    @given(FUNC)
+    @settings(max_examples=150)
+    def test_double_negation(self, func):
+        manager, (f,) = manager_with([func])
+        assert manager.apply_not(manager.apply_not(f)) == f
+
+    @given(FUNC)
+    @settings(max_examples=100)
+    def test_node_count_bounded(self, func):
+        manager, (f,) = manager_with([func])
+        # A 4-variable BDD can never need more than 2^4 internal nodes.
+        assert manager.node_count([f]) <= 16
+
+
+class TestQuantificationAndSupport:
+    @given(FUNC, st.integers(min_value=0, max_value=NUM_VARS - 1))
+    @settings(max_examples=150)
+    def test_exists_forall_duality(self, func, var):
+        manager, (f,) = manager_with([func])
+        left = manager.exists(f, [var])
+        right = manager.apply_not(manager.forall(manager.apply_not(f), [var]))
+        assert left == right
+
+    @given(FUNC, st.integers(min_value=0, max_value=NUM_VARS - 1))
+    @settings(max_examples=150)
+    def test_quantified_variable_leaves_support(self, func, var):
+        manager, (f,) = manager_with([func])
+        assert var not in manager.support(manager.exists(f, [var]))
+        assert var not in manager.support(manager.forall(f, [var]))
+
+    @given(FUNC)
+    @settings(max_examples=100)
+    def test_exists_over_all_vars_is_constant(self, func):
+        manager, (f,) = manager_with([func])
+        quantified = manager.exists(f, range(NUM_VARS))
+        assert quantified == (manager.false() if func == 0 else manager.true())
+
+    @given(FUNC, FUNC)
+    @settings(max_examples=100)
+    def test_satcount_inclusion_exclusion(self, fa, fb):
+        manager, (a, b) = manager_with([fa, fb])
+        union = manager.satcount(manager.apply_or(a, b))
+        intersection = manager.satcount(manager.apply_and(a, b))
+        assert union + intersection == manager.satcount(a) + manager.satcount(b)
+
+    @given(FUNC, st.integers(min_value=0, max_value=NUM_VARS - 1), FUNC)
+    @settings(max_examples=100)
+    def test_compose_matches_truth_table(self, func, var, gfunc):
+        manager, (f, g) = manager_with([func, gfunc])
+        composed = manager.compose(f, var, g)
+        mask = tt_mask(NUM_VARS)
+        expected = 0
+        for x in range(1 << NUM_VARS):
+            g_value = (gfunc >> x) & 1
+            substituted = (x | (1 << var)) if g_value else (x & ~(1 << var))
+            if (func >> substituted) & 1:
+                expected |= 1 << x
+        assert manager.to_truth_table(composed) == expected & mask

@@ -1,0 +1,131 @@
+"""Unit tests for repro.logic.cube."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.cube import Cube
+
+
+def random_cube(draw, num_vars=4):
+    care = draw(st.integers(min_value=0, max_value=(1 << num_vars) - 1))
+    polarity = draw(st.integers(min_value=0, max_value=(1 << num_vars) - 1))
+    return Cube(num_vars, care, polarity)
+
+
+cube_strategy = st.builds(
+    lambda care, pol: Cube(4, care, pol),
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=0, max_value=15),
+)
+
+
+class TestCubeBasics:
+    def test_tautology_covers_everything(self):
+        cube = Cube.tautology(3)
+        assert cube.num_literals() == 0
+        assert cube.num_minterms() == 8
+        assert all(cube.evaluate(x) for x in range(8))
+
+    def test_minterm_cube(self):
+        cube = Cube.minterm(3, 0b101)
+        assert cube.num_literals() == 3
+        assert cube.evaluate(0b101)
+        assert not cube.evaluate(0b100)
+        assert list(cube.minterms()) == [0b101]
+
+    def test_from_literals(self):
+        cube = Cube.from_literals(4, [(0, True), (2, False)])
+        assert cube.evaluate(0b0001)
+        assert cube.evaluate(0b1001)
+        assert not cube.evaluate(0b0101)
+        assert not cube.evaluate(0b0000)
+
+    def test_from_literals_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Cube.from_literals(3, [(0, True), (0, False)])
+
+    def test_string_roundtrip(self):
+        cube = Cube.from_string("1-0")
+        assert cube.to_string() == "1-0"
+        assert cube.evaluate(0b001)
+        assert not cube.evaluate(0b101)
+
+    def test_from_string_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("1x0")
+
+    def test_polarity_outside_care_is_ignored(self):
+        assert Cube(3, 0b001, 0b111) == Cube(3, 0b001, 0b001)
+
+    @given(cube_strategy)
+    def test_truth_table_agrees_with_evaluate(self, cube):
+        table = cube.truth_table()
+        for x in range(16):
+            assert bool((table >> x) & 1) == cube.evaluate(x)
+
+    @given(cube_strategy)
+    def test_minterm_count(self, cube):
+        assert len(list(cube.minterms())) == cube.num_minterms()
+
+
+class TestCubeRelations:
+    @given(cube_strategy, cube_strategy)
+    def test_distance_zero_iff_equal(self, a, b):
+        assert (a.distance(b) == 0) == (a == b)
+
+    @given(cube_strategy, cube_strategy)
+    def test_distance_symmetry(self, a, b):
+        assert a.distance(b) == b.distance(a)
+
+    @given(cube_strategy, cube_strategy)
+    def test_intersects_matches_semantics(self, a, b):
+        semantic = bool(a.truth_table() & b.truth_table())
+        assert a.intersects(b) == semantic
+
+    @given(cube_strategy, cube_strategy)
+    def test_contains_matches_semantics(self, a, b):
+        ta, tb = a.truth_table(), b.truth_table()
+        assert a.contains(b) == ((ta | tb) == ta)
+
+    def test_incompatible_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Cube.tautology(3).distance(Cube.tautology(4))
+
+
+class TestDistanceOneMerge:
+    @given(cube_strategy, cube_strategy)
+    def test_merge_preserves_xor_semantics(self, a, b):
+        merged = a.merge_distance_one(b)
+        if a.distance(b) != 1:
+            assert merged is None
+        else:
+            assert merged is not None
+            assert merged.truth_table() == a.truth_table() ^ b.truth_table()
+
+    def test_opposite_polarity_merge(self):
+        a = Cube.from_string("11-")
+        b = Cube.from_string("10-")
+        merged = a.merge_distance_one(b)
+        assert merged == Cube.from_string("1--")
+
+    def test_subset_merge(self):
+        a = Cube.from_string("1--")
+        b = Cube.from_string("11-")
+        merged = a.merge_distance_one(b)
+        assert merged is not None
+        assert merged.truth_table() == a.truth_table() ^ b.truth_table()
+
+
+class TestCubeTransforms:
+    def test_with_literal(self):
+        cube = Cube.tautology(3).with_literal(1, True)
+        assert cube.to_string() == "-1-"
+
+    def test_without_variable(self):
+        cube = Cube.from_string("101")
+        assert cube.without_variable(2).to_string() == "10-"
+
+    def test_with_literal_out_of_range(self):
+        with pytest.raises(ValueError):
+            Cube.tautology(2).with_literal(5, True)

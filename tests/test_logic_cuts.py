@@ -1,0 +1,111 @@
+"""Unit tests for cut enumeration and LUT mapping."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.aig import Aig, lit_node, lit_not
+from repro.logic.cuts import Cut, cut_truth_table, enumerate_cuts, lut_map
+
+
+def build_adder_aig(width=4):
+    """Ripple-carry adder AIG: 2*width inputs, width+1 outputs."""
+    aig = Aig("adder")
+    a = [aig.add_pi(f"a{i}") for i in range(width)]
+    b = [aig.add_pi(f"b{i}") for i in range(width)]
+    carry = Aig.CONST0
+    for i in range(width):
+        s = aig.create_xor(aig.create_xor(a[i], b[i]), carry)
+        carry = aig.create_or(
+            aig.create_and(a[i], b[i]),
+            aig.create_and(carry, aig.create_xor(a[i], b[i])),
+        )
+        aig.add_po(s, f"s{i}")
+    aig.add_po(carry, "cout")
+    return aig
+
+
+class TestCutEnumeration:
+    def test_pi_has_trivial_cut(self):
+        aig = Aig()
+        a = aig.add_pi()
+        cuts = enumerate_cuts(aig, k=4)
+        assert cuts[lit_node(a)] == [Cut(lit_node(a), (lit_node(a),))]
+
+    def test_cut_sizes_bounded(self):
+        aig = build_adder_aig(3)
+        cuts = enumerate_cuts(aig, k=4)
+        for node, node_cuts in cuts.items():
+            for cut in node_cuts:
+                assert cut.size() <= 4
+
+    def test_cut_truth_table_of_and(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        n = aig.create_and(a, b)
+        aig.add_po(n)
+        cuts = enumerate_cuts(aig, k=2)
+        node = lit_node(n)
+        non_trivial = [c for c in cuts[node] if c.leaves != (node,)]
+        assert non_trivial
+        truth = cut_truth_table(aig, non_trivial[0])
+        assert truth == 0b1000
+
+    def test_cut_truth_table_respects_complement_edges(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        n = aig.create_and(lit_not(a), b)
+        aig.add_po(n)
+        cuts = enumerate_cuts(aig, k=2)
+        node = lit_node(n)
+        cut = [c for c in cuts[node] if c.leaves != (node,)][0]
+        truth = cut_truth_table(aig, cut)
+        # Leaves are sorted (a, b); NOT a AND b is minterm where a=0,b=1.
+        assert truth == 0b0100
+
+
+class TestLutMapping:
+    def test_every_po_covered(self):
+        aig = build_adder_aig(4)
+        mapping = lut_map(aig, k=4)
+        for po in mapping.aig.pos():
+            node = lit_node(po)
+            assert node == 0 or mapping.aig.is_pi(node) or node in mapping.luts
+
+    def test_lut_leaves_are_pis_or_luts(self):
+        aig = build_adder_aig(4)
+        mapping = lut_map(aig, k=4)
+        for root, (leaves, _) in mapping.luts.items():
+            for leaf in leaves:
+                assert mapping.aig.is_pi(leaf) or leaf in mapping.luts
+
+    def test_lut_functions_reconstruct_outputs(self):
+        aig = build_adder_aig(3)
+        mapping = lut_map(aig, k=4)
+        mapped_aig = mapping.aig
+
+        # Evaluate the LUT network on every minterm and compare with the AIG.
+        for x in range(1 << mapped_aig.num_pis()):
+            values = {}
+            for i, pi in enumerate(mapped_aig.pis()):
+                values[lit_node(pi)] = (x >> i) & 1
+            values[0] = 0
+            for root in mapping.order:
+                leaves, truth = mapping.luts[root]
+                index = 0
+                for pos, leaf in enumerate(leaves):
+                    if values[leaf]:
+                        index |= 1 << pos
+                values[root] = (truth >> index) & 1
+            word = 0
+            for j, po in enumerate(mapped_aig.pos()):
+                bit = values[lit_node(po)] ^ int(po & 1)
+                word |= bit << j
+            assert word == mapped_aig.simulate_minterm(x)
+
+    @given(st.integers(min_value=2, max_value=5))
+    @settings(max_examples=4, deadline=None)
+    def test_mapping_num_luts_reasonable(self, width):
+        aig = build_adder_aig(width)
+        mapping = lut_map(aig, k=4)
+        # A k=4 cover never needs more LUTs than AND nodes.
+        assert 0 < mapping.num_luts() <= mapping.aig.num_nodes()

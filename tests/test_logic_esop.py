@@ -1,0 +1,134 @@
+"""Unit tests for ESOP extraction and minimisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cube import Cube
+from repro.logic.esop import (
+    EsopCover,
+    EsopTerm,
+    esop_from_columns,
+    esop_from_truth_table,
+    minimize_esop,
+)
+from repro.logic.truth_table import TruthTable, tt_mask
+
+
+def brute_force_check(cover, columns, num_inputs):
+    """Check that a cover implements the given output columns exactly."""
+    for x in range(1 << num_inputs):
+        expected = 0
+        for j, column in enumerate(columns):
+            if (column >> x) & 1:
+                expected |= 1 << j
+        assert cover.evaluate(x) == expected
+
+
+class TestEsopCover:
+    def test_single_cube_cover(self):
+        cube = Cube.from_string("1-")
+        cover = EsopCover(2, 1, [EsopTerm(cube, 1)])
+        assert cover.num_terms() == 1
+        assert cover.evaluate(0b01) == 1
+        assert cover.evaluate(0b10) == 0
+
+    def test_shared_term_counts(self):
+        cube = Cube.from_string("11")
+        cover = EsopCover(2, 2, [EsopTerm(cube, 0b11)])
+        assert cover.shared_terms() == 1
+        assert cover.output_cubes(0) == [cube]
+        assert cover.output_cubes(1) == [cube]
+
+    def test_rejects_mismatched_cube_width(self):
+        with pytest.raises(ValueError):
+            EsopCover(3, 1, [EsopTerm(Cube.tautology(2), 1)])
+
+    def test_rejects_extra_outputs(self):
+        with pytest.raises(ValueError):
+            EsopCover(2, 1, [EsopTerm(Cube.tautology(2), 0b10)])
+
+    def test_zero_output_terms_dropped(self):
+        cover = EsopCover(2, 1, [EsopTerm(Cube.tautology(2), 0)])
+        assert cover.num_terms() == 0
+
+    def test_to_truth_table_roundtrip(self):
+        table = TruthTable.from_callable(lambda x: (x * 3) & 0x7, 3, 3)
+        cover = esop_from_truth_table(table)
+        assert cover.to_truth_table() == table
+
+
+class TestEsopExtraction:
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    @settings(max_examples=200)
+    def test_psdkro_single_output_correct(self, func):
+        cover = esop_from_columns([func], 4)
+        brute_force_check(cover, [func], 4)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=255), min_size=1, max_size=4
+        )
+    )
+    @settings(max_examples=100)
+    def test_psdkro_multi_output_correct(self, columns):
+        cover = esop_from_columns(columns, 3)
+        brute_force_check(cover, columns, 3)
+
+    def test_constant_functions(self):
+        assert esop_from_columns([0], 3).num_terms() == 0
+        cover = esop_from_columns([tt_mask(3)], 3)
+        assert cover.num_terms() == 1
+        assert cover.terms[0].cube == Cube.tautology(3)
+
+    def test_parity_function_is_linear_sized(self):
+        # x0 xor x1 xor x2 xor x3 has a 4-cube PSDKRO (one per variable).
+        parity = 0
+        for x in range(16):
+            if bin(x).count("1") % 2:
+                parity |= 1 << x
+        cover = esop_from_columns([parity], 4)
+        assert cover.num_terms() == 4
+        assert cover.max_literals() == 1
+
+    def test_shared_cube_extraction(self):
+        # Both outputs equal x0 AND x1: the cube must be shared.
+        func = 0b1000
+        cover = esop_from_columns([func, func], 2)
+        assert cover.num_terms() == 1
+        assert cover.shared_terms() == 1
+
+
+class TestEsopMinimization:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=3)
+    )
+    @settings(max_examples=100)
+    def test_minimization_preserves_function(self, columns):
+        cover = esop_from_columns(columns, 3)
+        minimized = minimize_esop(cover)
+        brute_force_check(minimized, columns, 3)
+        assert minimized.num_terms() <= cover.num_terms() + 1
+
+    def test_duplicate_cubes_cancel(self):
+        cube = Cube.from_string("1-")
+        cover = EsopCover(2, 1, [EsopTerm(cube, 1), EsopTerm(cube, 1)])
+        minimized = minimize_esop(cover)
+        assert minimized.num_terms() == 0
+
+    def test_distance_one_cubes_merge(self):
+        cover = EsopCover(
+            2,
+            1,
+            [EsopTerm(Cube.from_string("11"), 1), EsopTerm(Cube.from_string("10"), 1)],
+        )
+        minimized = minimize_esop(cover)
+        assert minimized.num_terms() == 1
+        assert minimized.terms[0].cube == Cube.from_string("1-")
+
+    def test_duplicate_across_outputs_become_shared(self):
+        cube = Cube.from_string("11")
+        cover = EsopCover(2, 2, [EsopTerm(cube, 0b01), EsopTerm(cube, 0b10)])
+        minimized = minimize_esop(cover)
+        assert minimized.num_terms() == 1
+        assert minimized.terms[0].outputs == 0b11

@@ -1,0 +1,94 @@
+"""Unit tests for ISOP computation and algebraic factoring."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.sop import expression_literal_count, factor_cubes, isop
+from repro.logic.truth_table import tt_mask
+
+
+def evaluate_expression(expr, minterm):
+    tag = expr[0]
+    if tag == "const":
+        return expr[1]
+    if tag == "lit":
+        _, var, positive = expr
+        value = bool((minterm >> var) & 1)
+        return value if positive else not value
+    values = [evaluate_expression(child, minterm) for child in expr[1]]
+    if tag == "and":
+        return all(values)
+    if tag == "or":
+        return any(values)
+    raise AssertionError(f"unknown tag {tag}")
+
+
+def cover_truth_table(cubes, num_vars):
+    table = 0
+    for cube in cubes:
+        table |= cube.truth_table()
+    return table
+
+
+class TestIsop:
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    @settings(max_examples=300)
+    def test_isop_is_a_cover(self, func):
+        cubes = isop(func, 4)
+        assert cover_truth_table(cubes, 4) == func
+
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=100)
+    def test_isop_three_vars(self, func):
+        cubes = isop(func, 3)
+        assert cover_truth_table(cubes, 3) == func
+
+    def test_constants(self):
+        assert isop(0, 3) == []
+        cubes = isop(tt_mask(3), 3)
+        assert len(cubes) == 1
+        assert cubes[0].num_literals() == 0
+
+    def test_single_minterm(self):
+        cubes = isop(1 << 5, 3)
+        assert len(cubes) == 1
+        assert cubes[0].num_literals() == 3
+
+    def test_and_function_single_cube(self):
+        # x0 AND x1 over 2 vars = minterm 3 only.
+        cubes = isop(0b1000, 2)
+        assert len(cubes) == 1
+
+    def test_or_function_two_cubes(self):
+        # x0 OR x1 over 2 vars.
+        cubes = isop(0b1110, 2)
+        assert len(cubes) <= 2
+        assert cover_truth_table(cubes, 2) == 0b1110
+
+
+class TestFactoring:
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    @settings(max_examples=200)
+    def test_factored_form_preserves_function(self, func):
+        num_vars = 4
+        cubes = isop(func, num_vars)
+        expr = factor_cubes(cubes, num_vars)
+        for x in range(16):
+            assert evaluate_expression(expr, x) == bool((func >> x) & 1)
+
+    def test_factoring_shares_literals(self):
+        # f = x0 x1 + x0 x2 should factor as x0 (x1 + x2): 3 literals.
+        from repro.logic.cube import Cube
+
+        cubes = [Cube.from_string("11-"), Cube.from_string("1-1")]
+        expr = factor_cubes(cubes, 3)
+        assert expression_literal_count(expr) == 3
+
+    def test_empty_cover_is_constant_false(self):
+        assert factor_cubes([], 3) == ("const", False)
+
+    def test_tautology_cover(self):
+        from repro.logic.cube import Cube
+
+        expr = factor_cubes([Cube.tautology(3)], 3)
+        assert expr == ("const", True)

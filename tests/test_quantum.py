@@ -1,0 +1,170 @@
+"""Unit tests for the quantum level: Clifford+T mapping and cost models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.circuit import QuantumCircuit, QuantumGate
+from repro.quantum.mapping import map_to_clifford_t, toffoli_clifford_t
+from repro.quantum.statevector import Statevector, circuit_permutation, simulate_basis_state
+from repro.quantum.tcount import circuit_t_count, mct_t_count, t_count_histogram
+from repro.reversible.circuit import ReversibleCircuit
+from repro.reversible.gates import ToffoliGate
+
+
+class TestQuantumCircuit:
+    def test_gate_validation(self):
+        with pytest.raises(ValueError):
+            QuantumGate("bogus", (0,))
+        with pytest.raises(ValueError):
+            QuantumGate("cx", (0,))
+        with pytest.raises(ValueError):
+            QuantumGate("cx", (1, 1))
+        with pytest.raises(ValueError):
+            QuantumGate("x", (-1,))
+
+    def test_circuit_statistics(self):
+        circuit = QuantumCircuit(3)
+        circuit.add("h", 0)
+        circuit.add("t", 0)
+        circuit.add("tdg", 1)
+        circuit.add("cx", 0, 1)
+        assert circuit.num_gates() == 4
+        assert circuit.t_count() == 2
+        assert circuit.gate_counts()["cx"] == 1
+        assert circuit.t_depth() >= 1
+
+    def test_qubit_bound_checked(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.add("x", 5)
+
+
+class TestTcountModels:
+    def test_small_gates_free(self):
+        for model in ("barenco", "rtof"):
+            assert mct_t_count(0, model) == 0
+            assert mct_t_count(1, model) == 0
+            assert mct_t_count(2, model) == 7
+
+    def test_formulas(self):
+        assert mct_t_count(3, "barenco") == 21
+        assert mct_t_count(5, "barenco") == 49
+        assert mct_t_count(3, "rtof") == 15
+        assert mct_t_count(5, "rtof") == 31
+
+    def test_rtof_never_exceeds_barenco(self):
+        for k in range(0, 30):
+            assert mct_t_count(k, "rtof") <= mct_t_count(k, "barenco")
+
+    def test_invalid_model(self):
+        with pytest.raises(ValueError):
+            mct_t_count(3, "exact")
+
+    def test_circuit_t_count_and_histogram(self):
+        circuit = ReversibleCircuit()
+        for _ in range(6):
+            circuit.add_constant_line(0)
+        circuit.append(ToffoliGate.cnot(0, 1))
+        circuit.append(ToffoliGate.toffoli(0, 1, 2))
+        circuit.append(ToffoliGate.from_lines([0, 1, 2, 3], [], 5))
+        assert circuit_t_count(circuit, "rtof") == 0 + 7 + (8 * 2 + 7)
+        histogram = t_count_histogram(circuit, "rtof")
+        assert histogram[1] == 0 and histogram[2] == 7
+
+
+class TestCliffordTMapping:
+    def test_toffoli_decomposition_t_count(self):
+        gates = toffoli_clifford_t(0, 1, 2)
+        t_like = sum(1 for g in gates if g.is_t_like())
+        assert t_like == 7
+
+    def test_toffoli_decomposition_is_correct(self):
+        circuit = QuantumCircuit(3)
+        circuit.extend(toffoli_clifford_t(0, 1, 2))
+        for basis in range(8):
+            expected = basis ^ (1 << 2) if (basis & 0b11) == 0b11 else basis
+            assert simulate_basis_state(circuit, basis) == expected
+
+    @pytest.mark.parametrize("num_controls", [0, 1, 2, 3, 4])
+    def test_mct_mapping_realizes_gate(self, num_controls):
+        rev = ReversibleCircuit()
+        for _ in range(num_controls + 1):
+            rev.add_constant_line(0)
+        gate = ToffoliGate.from_lines(list(range(num_controls)), [], num_controls)
+        rev.append(gate)
+        quantum = map_to_clifford_t(rev)
+        for basis in range(1 << rev.num_lines()):
+            # The image must equal the classical gate action and the shared
+            # ancilla qubits (if any) must return to zero.
+            assert simulate_basis_state(quantum, basis) == gate.apply(basis)
+
+    def test_negative_controls(self):
+        rev = ReversibleCircuit()
+        for _ in range(3):
+            rev.add_constant_line(0)
+        gate = ToffoliGate.from_lines([0], [1], 2)
+        rev.append(gate)
+        quantum = map_to_clifford_t(rev)
+        images = list(circuit_permutation(quantum, 3))
+        for basis in range(8):
+            assert images[basis] == gate.apply(basis)
+
+    def test_explicit_mapping_matches_barenco_model(self):
+        rev = ReversibleCircuit()
+        for _ in range(7):
+            rev.add_constant_line(0)
+        rev.append(ToffoliGate.from_lines([0, 1, 2, 3, 4], [], 6))
+        rev.append(ToffoliGate.toffoli(0, 1, 2))
+        quantum = map_to_clifford_t(rev)
+        assert quantum.t_count() == circuit_t_count(rev, "barenco")
+
+    def test_ancillas_restored(self):
+        rev = ReversibleCircuit()
+        for _ in range(5):
+            rev.add_constant_line(0)
+        rev.append(ToffoliGate.from_lines([0, 1, 2, 3], [], 4))
+        quantum = map_to_clifford_t(rev)
+        # circuit_permutation raises if the shared ancillas do not return to 0.
+        images = list(circuit_permutation(quantum, 5))
+        assert sorted(images) == list(range(32))
+
+
+class TestStatevector:
+    def test_basis_state_initialisation(self):
+        state = Statevector(3, 0b101)
+        assert state.probability(0b101) == pytest.approx(1.0)
+
+    def test_hadamard_superposition_rejected_as_basis(self):
+        state = Statevector(1)
+        state.apply(QuantumGate("h", (0,)))
+        with pytest.raises(ValueError):
+            state.dominant_basis_state()
+
+    def test_hh_is_identity(self):
+        state = Statevector(1, 1)
+        state.apply(QuantumGate("h", (0,)))
+        state.apply(QuantumGate("h", (0,)))
+        assert state.dominant_basis_state() == 1
+
+    def test_cx_and_cz(self):
+        state = Statevector(2, 0b01)
+        state.apply(QuantumGate("cx", (0, 1)))
+        assert state.dominant_basis_state() == 0b11
+        state.apply(QuantumGate("cz", (0, 1)))
+        assert state.probability(0b11) == pytest.approx(1.0)
+
+    def test_t_s_z_phases_compose(self):
+        # T^4 = Z up to global phase; on |1> both give a -1 phase.
+        state = Statevector(1, 1)
+        for _ in range(4):
+            state.apply(QuantumGate("t", (0,)))
+        reference = Statevector(1, 1)
+        reference.apply(QuantumGate("z", (0,)))
+        assert state.amplitudes[1] == pytest.approx(reference.amplitudes[1])
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Statevector(0)
+        with pytest.raises(ValueError):
+            Statevector(2, 7)

@@ -1,0 +1,104 @@
+"""Additional quantum-level tests: statevector physics and mapping corner cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.circuit import QuantumCircuit, QuantumGate
+from repro.quantum.mapping import map_to_clifford_t, toffoli_clifford_t
+from repro.quantum.statevector import Statevector, circuit_permutation
+from repro.quantum.tcount import available_models, circuit_t_count
+from repro.reversible.circuit import ReversibleCircuit
+from repro.reversible.gates import ToffoliGate
+
+
+def random_clifford_t_circuit(seed, num_qubits=3, num_gates=20):
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits)
+    single = ["x", "z", "h", "s", "sdg", "t", "tdg"]
+    for _ in range(num_gates):
+        if rng.random() < 0.7:
+            circuit.add(single[int(rng.integers(0, len(single)))], int(rng.integers(0, num_qubits)))
+        else:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.add("cx" if rng.random() < 0.5 else "cz", int(a), int(b))
+    return circuit
+
+
+class TestStatevectorPhysics:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_norm_preserved(self, seed):
+        circuit = random_clifford_t_circuit(seed)
+        state = Statevector(3, seed % 8)
+        state.apply_circuit(circuit)
+        assert np.sum(np.abs(state.amplitudes) ** 2) == pytest.approx(1.0)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_inverse_circuit_restores_state(self, seed):
+        circuit = random_clifford_t_circuit(seed, num_gates=10)
+        inverse_names = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
+        inverse = QuantumCircuit(3)
+        for gate in reversed(circuit.gates()):
+            inverse.add(inverse_names.get(gate.name, gate.name), *gate.qubits)
+        state = Statevector(3, seed % 8)
+        state.apply_circuit(circuit)
+        state.apply_circuit(inverse)
+        assert state.probability(seed % 8) == pytest.approx(1.0)
+
+    def test_circuit_permutation_detects_dirty_ancilla(self):
+        circuit = QuantumCircuit(2)
+        circuit.add("x", 1)  # flips the "ancilla" qubit unconditionally
+        with pytest.raises(ValueError):
+            list(circuit_permutation(circuit, 1))
+
+
+class TestMappingCornerCases:
+    def test_all_negative_controls(self):
+        rev = ReversibleCircuit()
+        for _ in range(4):
+            rev.add_constant_line(0)
+        gate = ToffoliGate.from_lines([], [0, 1, 2], 3)
+        rev.append(gate)
+        quantum = map_to_clifford_t(rev)
+        images = list(circuit_permutation(quantum, 4))
+        for basis in range(16):
+            assert images[basis] == gate.apply(basis)
+
+    def test_not_and_cnot_cost_nothing(self):
+        rev = ReversibleCircuit()
+        for _ in range(2):
+            rev.add_constant_line(0)
+        rev.append(ToffoliGate.x(0))
+        rev.append(ToffoliGate.cnot(0, 1))
+        quantum = map_to_clifford_t(rev)
+        assert quantum.t_count() == 0
+        for model in available_models():
+            assert circuit_t_count(rev, model) == 0
+
+    def test_toffoli_decomposition_gate_inventory(self):
+        gates = toffoli_clifford_t(0, 1, 2)
+        names = [g.name for g in gates]
+        assert names.count("h") == 2
+        assert names.count("cx") == 6
+        assert names.count("t") + names.count("tdg") == 7
+
+    def test_mapping_of_large_gate_adds_shared_ancillas(self):
+        rev = ReversibleCircuit()
+        for _ in range(8):
+            rev.add_constant_line(0)
+        rev.append(ToffoliGate.from_lines(list(range(6)), [], 7))
+        rev.append(ToffoliGate.from_lines(list(range(5)), [], 6))
+        quantum = map_to_clifford_t(rev)
+        # max controls = 6 -> 4 shared ancillas, reused by both gates.
+        assert quantum.num_qubits == 8 + 4
+
+    def test_t_depth_not_larger_than_t_count(self):
+        rev = ReversibleCircuit()
+        for _ in range(5):
+            rev.add_constant_line(0)
+        rev.append(ToffoliGate.from_lines([0, 1, 2], [], 4))
+        quantum = map_to_clifford_t(rev)
+        assert 0 < quantum.t_depth() <= quantum.t_count()

@@ -1,0 +1,137 @@
+"""Unit tests for ESOP-based and hierarchical reversible synthesis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl.designs import intdiv_reference
+from repro.hdl.synthesize import synthesize_reciprocal_design
+from repro.logic.esop import esop_from_columns, esop_from_truth_table, minimize_esop
+from repro.logic.truth_table import TruthTable
+from repro.logic.xmg_mapping import aig_to_xmg
+from repro.reversible.esop_synth import esop_synthesis
+from repro.reversible.hierarchical import hierarchical_synthesis
+from repro.reversible.verification import verify_circuit
+
+
+def reciprocal_table(n):
+    return TruthTable.from_callable(lambda x: intdiv_reference(n, x), n, n)
+
+
+class TestEsopSynthesis:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=3),
+        st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_covers(self, columns, p):
+        cover = minimize_esop(esop_from_columns(columns, 3))
+        circuit = esop_synthesis(cover, p=p)
+        table = TruthTable.from_columns(columns, 3)
+        result = verify_circuit(circuit, table, check_clean_ancillas=True)
+        assert result, result.message
+
+    @pytest.mark.parametrize("p", [0, 1])
+    def test_reciprocal(self, p):
+        n = 5
+        table = reciprocal_table(n)
+        cover = minimize_esop(esop_from_truth_table(table))
+        circuit = esop_synthesis(cover, p=p)
+        result = verify_circuit(circuit, table, check_clean_ancillas=True)
+        assert result, result.message
+        if p == 0:
+            assert circuit.num_lines() == 2 * n  # the paper's p = 0 line count
+        else:
+            assert circuit.num_lines() >= 2 * n
+
+    def test_p0_max_controls_bounded_by_inputs(self):
+        n = 5
+        cover = minimize_esop(esop_from_truth_table(reciprocal_table(n)))
+        circuit = esop_synthesis(cover, p=0)
+        assert circuit.max_controls() <= n
+
+    def test_factoring_reduces_t_count_or_equal(self):
+        n = 6
+        cover = minimize_esop(esop_from_truth_table(reciprocal_table(n)))
+        base = esop_synthesis(cover, p=0)
+        factored = esop_synthesis(cover, p=1)
+        assert factored.num_lines() >= base.num_lines()
+        # Factoring trades qubits for T gates; allow equality for small n.
+        assert factored.t_count() <= base.t_count() * 1.1
+
+    def test_inputs_preserved(self):
+        n = 4
+        table = reciprocal_table(n)
+        cover = esop_from_truth_table(table)
+        circuit = esop_synthesis(cover)
+        for x in range(1 << n):
+            state = circuit.final_state(x)
+            for i, line in circuit.input_lines().items():
+                assert (state >> line) & 1 == (x >> i) & 1
+
+    def test_negative_p_rejected(self):
+        cover = esop_from_columns([0b1000], 2)
+        with pytest.raises(ValueError):
+            esop_synthesis(cover, p=-1)
+
+
+class TestHierarchicalSynthesis:
+    @pytest.mark.parametrize("design", ["intdiv", "newton"])
+    @pytest.mark.parametrize("strategy", ["bennett", "per_output"])
+    def test_reciprocal_designs(self, design, strategy):
+        n = 4
+        _, aig = synthesize_reciprocal_design(design, n)
+        xmg = aig_to_xmg(aig, k=4)
+        circuit = hierarchical_synthesis(xmg, strategy=strategy)
+        result = verify_circuit(circuit, aig.to_truth_table(), check_clean_ancillas=True)
+        assert result, result.message
+
+    def test_strategy_alias_eager(self):
+        _, aig = synthesize_reciprocal_design("intdiv", 3)
+        xmg = aig_to_xmg(aig)
+        circuit = hierarchical_synthesis(xmg, strategy="eager")
+        assert verify_circuit(circuit, aig.to_truth_table())
+
+    def test_unknown_strategy(self):
+        _, aig = synthesize_reciprocal_design("intdiv", 3)
+        xmg = aig_to_xmg(aig)
+        with pytest.raises(ValueError):
+            hierarchical_synthesis(xmg, strategy="pebble")
+
+    def test_per_output_uses_fewer_lines(self):
+        _, aig = synthesize_reciprocal_design("intdiv", 5)
+        xmg = aig_to_xmg(aig)
+        bennett = hierarchical_synthesis(xmg, strategy="bennett")
+        per_output = hierarchical_synthesis(xmg, strategy="per_output")
+        assert per_output.num_lines() <= bennett.num_lines()
+        # ... at the price of additional gates when logic is shared.
+        assert per_output.num_gates() >= bennett.num_gates() * 0.5
+
+    def test_max_controls_is_two(self):
+        _, aig = synthesize_reciprocal_design("intdiv", 4)
+        xmg = aig_to_xmg(aig)
+        circuit = hierarchical_synthesis(xmg)
+        assert circuit.max_controls() <= 2
+
+    def test_inputs_preserved_and_ancillas_clean(self):
+        _, aig = synthesize_reciprocal_design("intdiv", 4)
+        xmg = aig_to_xmg(aig)
+        circuit = hierarchical_synthesis(xmg, strategy="bennett")
+        table = aig.to_truth_table()
+        for x in range(16):
+            state = circuit.final_state(x)
+            for i, line in circuit.input_lines().items():
+                assert (state >> line) & 1 == (x >> i) & 1
+        assert verify_circuit(circuit, table, check_clean_ancillas=True)
+
+    def test_xor_nodes_cost_no_t_gates(self):
+        # A pure parity function must synthesise to a T-free circuit.
+        from repro.logic.aig import Aig
+
+        aig = Aig("parity")
+        lits = [aig.add_pi() for _ in range(4)]
+        aig.add_po(aig.create_xor_multi(lits), "p")
+        xmg = aig_to_xmg(aig)
+        circuit = hierarchical_synthesis(xmg)
+        assert circuit.t_count() == 0
+        assert verify_circuit(circuit, aig.to_truth_table())

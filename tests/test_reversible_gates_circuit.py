@@ -1,0 +1,154 @@
+"""Unit tests for Toffoli gates and reversible circuits."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reversible.circuit import ReversibleCircuit
+from repro.reversible.gates import ToffoliGate
+
+
+class TestToffoliGate:
+    def test_not_gate(self):
+        gate = ToffoliGate.x(2)
+        assert gate.is_not()
+        assert gate.apply(0b000) == 0b100
+        assert gate.apply(0b100) == 0b000
+
+    def test_cnot_positive_and_negative(self):
+        positive = ToffoliGate.cnot(0, 1)
+        assert positive.apply(0b01) == 0b11
+        assert positive.apply(0b00) == 0b00
+        negative = ToffoliGate.cnot(0, 1, polarity=False)
+        assert negative.apply(0b00) == 0b10
+        assert negative.apply(0b01) == 0b01
+
+    def test_toffoli_semantics(self):
+        gate = ToffoliGate.toffoli(0, 1, 2)
+        assert gate.apply(0b011) == 0b111
+        assert gate.apply(0b111) == 0b011
+        assert gate.apply(0b001) == 0b001
+
+    def test_mixed_polarity(self):
+        gate = ToffoliGate.from_lines([0], [1], 2)
+        # Triggers when line0=1 and line1=0.
+        assert gate.apply(0b001) == 0b101
+        assert gate.apply(0b011) == 0b011
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ToffoliGate(((0, True), (0, False)), 1)
+        with pytest.raises(ValueError):
+            ToffoliGate(((0, True),), 0)
+        with pytest.raises(ValueError):
+            ToffoliGate(((-1, True),), 0)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_involution(self, state):
+        gate = ToffoliGate.from_lines([0, 3], [5], 6)
+        assert gate.apply(gate.apply(state)) == state
+
+    def test_masks_and_queries(self):
+        gate = ToffoliGate.from_lines([1], [3], 0)
+        care, polarity = gate.control_masks()
+        assert care == 0b1010
+        assert polarity == 0b0010
+        assert gate.num_controls() == 2
+        assert gate.positive_controls() == (1,)
+        assert gate.negative_controls() == (3,)
+        assert gate.max_line() == 3
+
+    def test_remapped(self):
+        gate = ToffoliGate.toffoli(0, 1, 2)
+        remapped = gate.remapped({0: 5, 1: 6, 2: 7})
+        assert remapped.target == 7
+        assert set(line for line, _ in remapped.controls) == {5, 6}
+
+
+class TestReversibleCircuit:
+    def build_full_adder_circuit(self):
+        """Cuccaro-less toy adder: computes (a, b, 0) -> (a, b, a xor b ... )."""
+        circuit = ReversibleCircuit("toy")
+        a = circuit.add_input_line(0, "a")
+        b = circuit.add_input_line(1, "b")
+        out = circuit.add_constant_line(0, "sum")
+        circuit.set_output(out, 0)
+        circuit.append(ToffoliGate.cnot(a, out))
+        circuit.append(ToffoliGate.cnot(b, out))
+        return circuit
+
+    def test_line_roles(self):
+        circuit = self.build_full_adder_circuit()
+        assert circuit.num_lines() == 3
+        assert circuit.num_inputs() == 2
+        assert circuit.num_outputs() == 1
+        assert circuit.input_lines() == {0: 0, 1: 1}
+        assert circuit.output_lines() == {0: 2}
+        assert circuit.constant_lines() == {2: 0}
+
+    def test_evaluate_xor(self):
+        circuit = self.build_full_adder_circuit()
+        for x in range(4):
+            assert circuit.evaluate(x) == ((x & 1) ^ (x >> 1))
+
+    def test_gate_bounds_checked(self):
+        circuit = ReversibleCircuit()
+        circuit.add_input_line(0)
+        with pytest.raises(ValueError):
+            circuit.append(ToffoliGate.cnot(0, 5))
+
+    def test_line_validation(self):
+        circuit = ReversibleCircuit()
+        with pytest.raises(ValueError):
+            circuit.add_line(constant=2)
+        with pytest.raises(ValueError):
+            circuit.add_line(input_index=0, constant=0)
+        with pytest.raises(ValueError):
+            circuit.set_output(3, 0)
+
+    def test_histogram_and_max_controls(self):
+        circuit = ReversibleCircuit()
+        for _ in range(4):
+            circuit.add_constant_line(0)
+        circuit.append(ToffoliGate.x(0))
+        circuit.append(ToffoliGate.cnot(0, 1))
+        circuit.append(ToffoliGate.toffoli(0, 1, 2))
+        circuit.append(ToffoliGate.from_lines([0, 1, 2], [], 3))
+        assert circuit.gate_histogram() == {0: 1, 1: 1, 2: 1, 3: 1}
+        assert circuit.max_controls() == 3
+        assert circuit.num_gates() == 4
+
+    def test_t_count_models(self):
+        circuit = ReversibleCircuit()
+        for _ in range(5):
+            circuit.add_constant_line(0)
+        circuit.append(ToffoliGate.toffoli(0, 1, 2))
+        circuit.append(ToffoliGate.from_lines([0, 1, 2, 3], [], 4))
+        assert circuit.t_count("barenco") == 7 + 7 * 5
+        assert circuit.t_count("rtof") == 7 + (8 * 2 + 7)
+
+    def test_inverse_restores_state(self):
+        circuit = self.build_full_adder_circuit()
+        inverse = circuit.inverse()
+        for x in range(4):
+            state = circuit.apply_to_state(circuit.initial_state(x))
+            restored = inverse.apply_to_state(state)
+            assert restored == circuit.initial_state(x)
+
+    @given(st.integers(min_value=0, max_value=7))
+    @settings(max_examples=20)
+    def test_permutation_matches_apply(self, state):
+        circuit = self.build_full_adder_circuit()
+        perm = circuit.to_permutation()
+        assert perm[state] == circuit.apply_to_state(state)
+
+    def test_permutation_is_bijection(self):
+        circuit = self.build_full_adder_circuit()
+        perm = circuit.to_permutation()
+        assert sorted(perm.tolist()) == list(range(8))
+
+    def test_copy_independent(self):
+        circuit = self.build_full_adder_circuit()
+        clone = circuit.copy()
+        clone.append(ToffoliGate.x(0))
+        assert clone.num_gates() == circuit.num_gates() + 1

@@ -1,0 +1,45 @@
+"""Unit tests for the ASCII table formatter."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 4]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].split() == ["1", "2"]
+        assert lines[3].split() == ["30", "4"]
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="My title")
+        assert text.splitlines()[0] == "My title"
+
+    def test_thousand_separators(self):
+        text = format_table(["n"], [[1234567]])
+        assert "1 234 567" in text
+
+    def test_float_formatting(self):
+        text = format_table(["t"], [[3.14159]])
+        assert "3.14" in text
+
+    def test_none_rendered_as_dash(self):
+        text = format_table(["v"], [[None]])
+        assert text.splitlines()[-1].strip() == "-"
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_right_alignment(self):
+        text = format_table(["value"], [[1], [100]])
+        lines = text.splitlines()
+        assert lines[-2].endswith("  1") or lines[-2].endswith("    1")
+        assert lines[-1].endswith("100")
+
+    def test_strings_pass_through(self):
+        text = format_table(["name", "n"], [["esop", 3]])
+        assert "esop" in text
