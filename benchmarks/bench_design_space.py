@@ -14,7 +14,14 @@ from __future__ import annotations
 import pytest
 
 from conftest import large_benchmarks_enabled, write_result
-from repro.core.explorer import DesignSpaceExplorer, FlowConfiguration
+from repro.core.explorer import (
+    DesignSpaceExplorer,
+    ExplorationEngine,
+    FlowConfiguration,
+    ParameterGrid,
+    build_sweep,
+)
+from repro.core.reports import outcome_table
 from repro.utils.tables import format_table
 
 BITWIDTH = 8 if large_benchmarks_enabled() else 6
@@ -35,6 +42,7 @@ def explorer():
         verify=False,
     )
     explorer.explore()
+    assert not explorer.errors  # a broken flow must fail the bench loudly
     return explorer
 
 
@@ -76,6 +84,56 @@ def test_extreme_points(explorer):
     assert best_t.flow != "symbolic"
 
 
+def test_batch_engine_parallel_matches_serial_and_caches(benchmark, tmp_path_factory):
+    """The batch engine: ≥20 configurations through the process pool.
+
+    The parallel run must reproduce the serial run's metrics exactly, and a
+    second run against the same cache must execute zero flows.
+    """
+    grids = [
+        ParameterGrid("symbolic"),
+        ParameterGrid("esop", p=[0, 1]),
+        ParameterGrid("hierarchical", strategy=["bennett", "per_output"]),
+    ]
+    widths = [4, 5, 6] if large_benchmarks_enabled() else [3, 4]
+    tasks = build_sweep(["intdiv", "newton"], widths, grids)
+    assert len(tasks) >= 20
+
+    serial_engine = ExplorationEngine(jobs=1, verify=False)
+    serial = serial_engine.run(tasks)
+    assert serial_engine.failures == 0
+
+    cache_dir = tmp_path_factory.mktemp("dse-cache")
+
+    def parallel_run():
+        engine = ExplorationEngine(jobs=2, cache=str(cache_dir), verify=False)
+        return engine, engine.run(tasks)
+
+    engine, parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    assert engine.failures == 0 and engine.executed == len(tasks)
+    assert [o.report.metrics() for o in parallel] == [
+        o.report.metrics() for o in serial
+    ]
+
+    cached_engine = ExplorationEngine(jobs=2, cache=str(cache_dir), verify=False)
+    cached = cached_engine.run(tasks)
+    assert cached_engine.executed == 0  # zero flow re-executions
+    assert cached_engine.cache_hits == len(tasks)
+    assert [o.report.metrics() for o in cached] == [
+        o.report.metrics() for o in serial
+    ]
+
+    write_result(
+        "design_space_batch",
+        outcome_table(
+            parallel,
+            title=f"Batch sweep: {len(tasks)} configurations, 2 workers",
+        )
+        + f"\n\ncached re-run: {cached_engine.cache_hits} hits, "
+        f"{cached_engine.executed} flows executed",
+    )
+
+
 def test_explorer_benchmark(benchmark):
     def run():
         explorer = DesignSpaceExplorer(
@@ -88,6 +146,7 @@ def test_explorer_benchmark(benchmark):
             verify=False,
         )
         explorer.explore()
+        assert not explorer.errors
         return explorer.pareto_front()
 
     front = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -8,9 +8,14 @@ baseline.  This reproduces, at laptop scale, the experiment behind the
 paper's claim that automated flows "beat handcrafted designs in either width
 or size, depending on the optimization goal".
 
+The exploration runs on the parallel engine: pass a worker count to spread
+configurations over a process pool, and a cache directory to make repeated
+runs instantaneous (the cache is content-addressed, so editing a design
+invalidates exactly its own entries).
+
 Run with::
 
-    python examples/design_space_exploration.py [n]
+    python examples/design_space_exploration.py [n] [jobs] [cache-dir]
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from repro.baselines.resdiv import resdiv_resources
 from repro.utils.tables import format_table
 
 
-def main(bitwidth: int = 6) -> None:
+def main(bitwidth: int = 6, jobs: int = 1, cache_dir: str | None = None) -> None:
     explorer = DesignSpaceExplorer(
         "intdiv",
         bitwidth,
@@ -34,8 +39,17 @@ def main(bitwidth: int = 6) -> None:
             FlowConfiguration("hierarchical", (("strategy", "per_output"),)),
         ],
         verify=bitwidth <= 8,
+        jobs=jobs,
+        cache_dir=cache_dir,
     )
-    explorer.explore()
+    explorer.explore(
+        on_result=lambda outcome: print(
+            f"  finished {outcome.label()}"
+            + (" (cached)" if outcome.cached else "")
+        )
+    )
+    for label, error in explorer.errors.items():
+        print(f"  FAILED {label}: {error}")
 
     print(format_table(
         ["configuration", "qubits", "T-count", "runtime [s]"],
@@ -67,4 +81,8 @@ def main(bitwidth: int = 6) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 6)
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 6,
+        int(sys.argv[2]) if len(sys.argv) > 2 else 1,
+        sys.argv[3] if len(sys.argv) > 3 else None,
+    )

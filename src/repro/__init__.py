@@ -39,11 +39,23 @@ Quickstart
 10
 """
 
+from repro.core.cache import ResultCache
 from repro.core.cost import CostReport
-from repro.core.explorer import DesignSpaceExplorer, FlowConfiguration, ParetoPoint
+from repro.core.explorer import (
+    ConfigurationOutcome,
+    DesignSpaceExplorer,
+    ExplorationEngine,
+    ExplorationTask,
+    FlowConfiguration,
+    ParameterGrid,
+    ParetoPoint,
+    build_sweep,
+    pareto_front_of,
+)
 from repro.core.flows import (
     available_flows,
     esop_flow,
+    frontend_artifacts,
     hierarchical_flow,
     run_flow,
     symbolic_flow,
@@ -52,15 +64,23 @@ from repro.hdl.designs import intdiv_verilog, newton_verilog
 from repro.hdl.synthesize import synthesize_verilog
 
 __all__ = [
+    "ConfigurationOutcome",
     "CostReport",
     "DesignSpaceExplorer",
+    "ExplorationEngine",
+    "ExplorationTask",
     "FlowConfiguration",
+    "ParameterGrid",
     "ParetoPoint",
+    "ResultCache",
     "available_flows",
+    "build_sweep",
     "esop_flow",
+    "frontend_artifacts",
     "hierarchical_flow",
     "intdiv_verilog",
     "newton_verilog",
+    "pareto_front_of",
     "run_flow",
     "symbolic_flow",
     "synthesize_verilog",

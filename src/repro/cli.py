@@ -5,6 +5,9 @@ Examples::
     python -m repro flow --flow esop --design intdiv -n 8 -p 0
     python -m repro flow --flow hierarchical --verilog adder.v -n 8 --real out.real
     python -m repro explore --design intdiv -n 6
+    python -m repro explore --designs intdiv newton --bitwidths 4 5 6 \
+        --sweep esop:p=0,1 --sweep hierarchical:strategy=bennett,per_output \
+        --jobs 4 --cache ~/.cache/repro                   # parallel cached sweep
     python -m repro designs --design newton -n 8          # print generated Verilog
     python -m repro baselines -n 8                        # Table I style numbers
 
@@ -22,14 +25,73 @@ from typing import List, Optional
 
 from repro.baselines.qnewton import qnewton_resources
 from repro.baselines.resdiv import resdiv_resources
-from repro.core.explorer import DesignSpaceExplorer, default_configurations
+from repro.core.explorer import (
+    ExplorationEngine,
+    ParameterGrid,
+    build_sweep,
+    default_configurations,
+    pareto_front_of,
+)
 from repro.core.flows import available_flows, design_source, run_flow
+from repro.core.reports import outcome_table, reports_to_json
 from repro.io.qasm import write_qasm
 from repro.io.realfmt import write_real
 from repro.quantum.mapping import map_to_clifford_t
 from repro.utils.tables import format_table
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "parse_sweep_spec"]
+
+
+#: Names the engine/flow machinery claims for itself: sweeping them would
+#: collide with run_flow keyword arguments or silently clobber seeded
+#: context artifacts, so they are rejected at parse time.
+_RESERVED_SWEEP_PARAMETERS = frozenset(
+    {"flow", "self", "design", "bitwidth", "verify", "cost_model",
+     "aig", "verilog", "index", "timeout", "frontend_id"}
+)
+
+
+def parse_sweep_spec(spec: str) -> ParameterGrid:
+    """Parse one ``--sweep`` specification into a :class:`ParameterGrid`.
+
+    Format: ``FLOW[:PARAM=V1,V2,...[:PARAM=...]]`` — e.g. ``esop:p=0,1,2``
+    or ``hierarchical:strategy=bennett,per_output``.  Values are parsed as
+    int, float or bool where possible and kept as strings otherwise.
+    """
+    segments = spec.split(":")
+    flow = segments[0].strip()
+    if not flow:
+        raise ValueError(f"sweep spec {spec!r} does not name a flow")
+    ranges = {}
+    for segment in segments[1:]:
+        if "=" not in segment:
+            raise ValueError(
+                f"sweep segment {segment!r} is not of the form PARAM=V1,V2,..."
+            )
+        name, _, values = segment.partition("=")
+        name = name.strip()
+        if name in _RESERVED_SWEEP_PARAMETERS:
+            raise ValueError(f"reserved sweep parameter name {name!r} in {spec!r}")
+        if name in ranges:
+            raise ValueError(f"duplicate sweep parameter {name!r} in {spec!r}")
+        parsed = [_parse_sweep_value(value) for value in values.split(",") if value != ""]
+        if not parsed:
+            raise ValueError(f"sweep parameter {name!r} has no values")
+        ranges[name] = parsed
+    return ParameterGrid(flow, **ranges)
+
+
+def _parse_sweep_value(text: str):
+    text = text.strip()
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    return text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,8 +116,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     explore = subparsers.add_parser("explore", help="design space exploration")
     explore.add_argument("--design", default="intdiv")
+    explore.add_argument(
+        "--designs", nargs="+", metavar="DESIGN",
+        help="sweep several designs (overrides --design)",
+    )
     explore.add_argument("-n", "--bitwidth", type=int, default=6)
+    explore.add_argument(
+        "--bitwidths", nargs="+", type=int, metavar="N",
+        help="sweep several bitwidths (overrides --bitwidth)",
+    )
     explore.add_argument("--no-verify", action="store_true")
+    explore.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes (1 = serial, default)",
+    )
+    explore.add_argument(
+        "--cache", type=Path, metavar="DIR",
+        help="persistent result cache directory (content-addressed)",
+    )
+    explore.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="per-configuration wall-clock budget",
+    )
+    explore.add_argument(
+        "--sweep", action="append", default=[], metavar="FLOW[:PARAM=V1,V2,...]",
+        help="configuration sweep, e.g. esop:p=0,1,2 (repeatable; "
+        "default: the paper's five configurations)",
+    )
+    explore.add_argument(
+        "--no-shared-frontend", action="store_true",
+        help="bit-blast per configuration instead of once per design instance",
+    )
+    explore.add_argument("--cost-model", default="rtof", choices=["rtof", "barenco"])
+    explore.add_argument(
+        "--json", type=Path, metavar="FILE",
+        help="also write the successful reports as a JSON array",
+    )
+    explore.add_argument(
+        "--quiet", action="store_true", help="suppress per-configuration progress"
+    )
 
     designs = subparsers.add_parser("designs", help="print generated Verilog for a built-in design")
     designs.add_argument("--design", default="intdiv")
@@ -109,30 +208,86 @@ def _command_flow(args: argparse.Namespace) -> int:
 
 
 def _command_explore(args: argparse.Namespace) -> int:
-    explorer = DesignSpaceExplorer(
-        args.design,
-        args.bitwidth,
-        configurations=default_configurations(),
-        verify=not args.no_verify,
-    )
-    explorer.explore()
-    print(
-        format_table(
-            ["configuration", "qubits", "T-count", "runtime [s]"],
-            explorer.summary_rows(),
-            title=f"Design space of {args.design}({args.bitwidth})",
+    designs = args.designs or [args.design]
+    bitwidths = args.bitwidths or [args.bitwidth]
+    try:
+        if args.sweep:
+            configurations = [parse_sweep_spec(spec) for spec in args.sweep]
+        else:
+            configurations = default_configurations()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    tasks = build_sweep(designs, bitwidths, configurations)
+
+    progress = {"done": 0}
+
+    def on_result(outcome):
+        if args.quiet:
+            return
+        progress["done"] += 1
+        if outcome.ok:
+            detail = f"{outcome.report.qubits} qubits, {outcome.report.t_count} T"
+            if outcome.cached:
+                detail += " (cached)"
+        else:
+            detail = f"error: {outcome.error}"
+        print(f"[{progress['done']}/{len(tasks)}] {outcome.label()}: {detail}")
+
+    try:
+        engine = ExplorationEngine(
+            jobs=args.jobs,
+            cache=args.cache,
+            verify=not args.no_verify,
+            cost_model=args.cost_model,
+            timeout=args.timeout,
+            share_frontend=not args.no_shared_frontend,
+            on_result=on_result,
         )
-    )
-    front = explorer.pareto_front()
-    print()
-    print(
-        format_table(
-            ["Pareto point", "qubits", "T-count"],
-            [(p.configuration, p.qubits, p.t_count) for p in front],
-            title="Pareto front",
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    outcomes = engine.run(tasks)
+
+    for design in designs:
+        for bitwidth in bitwidths:
+            group = [
+                o for o in outcomes
+                if o.task.design == design and o.task.bitwidth == bitwidth
+            ]
+            print()
+            print(
+                outcome_table(
+                    group, title=f"Design space of {design}({bitwidth})"
+                )
+            )
+            front = pareto_front_of(
+                {
+                    o.task.configuration.label(): o.report
+                    for o in group
+                    if o.ok
+                }
+            )
+            print()
+            print(
+                format_table(
+                    ["Pareto point", "qubits", "T-count"],
+                    [(p.configuration, p.qubits, p.t_count) for p in front],
+                    title="Pareto front",
+                )
+            )
+
+    if args.cache is not None:
+        print()
+        print(
+            f"cache: {engine.cache_hits} hit(s), {engine.executed} flow(s) executed"
         )
-    )
-    return 0
+    if args.json is not None:
+        args.json.write_text(
+            reports_to_json([o.report for o in outcomes if o.ok])
+        )
+        print(f"wrote {args.json}")
+    return 0 if engine.failures == 0 else 1
 
 
 def _command_designs(args: argparse.Namespace) -> int:
@@ -166,7 +321,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "designs": _command_designs,
         "baselines": _command_baselines,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:  # e.g. `repro explore | head`
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,147 @@
+"""Content-addressed result cache for design space exploration.
+
+Exploration sweeps re-run the same flow configurations over and over —
+across engine invocations, across benchmark runs, across CLI sessions.  The
+:class:`ResultCache` persists every :class:`~repro.core.cost.CostReport`
+keyed by a digest of *what was actually computed*:
+
+* the Verilog source of the design instance (not just its name, so editing
+  a design invalidates its entries),
+* the flow name and its parameters,
+* the cost model and whether the run was verified,
+* a cache-format version (bumped whenever report semantics change).
+
+Each entry is one small JSON file under the cache directory, so the cache
+is trivially inspectable, survives crashes entry-by-entry, and can be
+shared between processes without locking (writes go through a temp file +
+atomic rename).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.cost import CostReport
+
+__all__ = ["ResultCache", "cache_key"]
+
+#: Bump to invalidate all existing cache entries when the meaning of a
+#: report (or of a flow) changes incompatibly.
+CACHE_FORMAT_VERSION = 1
+
+
+def _canonical_parameters(parameters: Any) -> Any:
+    """Parameters in a deterministic, JSON-friendly shape."""
+    if isinstance(parameters, dict):
+        items = sorted(parameters.items())
+    else:
+        items = sorted(tuple(parameters))
+    return [[str(key), repr(value)] for key, value in items]
+
+
+def cache_key(
+    source: str,
+    flow: str,
+    parameters: Any,
+    bitwidth: int,
+    cost_model: str = "rtof",
+    verify: bool = True,
+    design: str = "",
+) -> str:
+    """Content-addressed key of one flow execution.
+
+    ``source`` is the Verilog text of the design instance; ``parameters``
+    is a dict or a tuple of ``(name, value)`` pairs.  ``design`` is the
+    design's name — included because a cached :class:`CostReport` carries
+    the name, so two designs sharing one Verilog source must not collide.
+    """
+    payload = json.dumps(
+        {
+            "version": CACHE_FORMAT_VERSION,
+            "source": source,
+            "design": design,
+            "flow": flow,
+            "parameters": _canonical_parameters(parameters),
+            "bitwidth": bitwidth,
+            "cost_model": cost_model,
+            "verify": bool(verify),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Persistent store of flow results, one JSON file per entry."""
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[CostReport]:
+        """The cached report for ``key``, or ``None`` (counting hit/miss)."""
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+            report = CostReport.from_dict(data["report"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return report
+
+    def put(self, key: str, report: CostReport, **metadata: Any) -> None:
+        """Persist a report under ``key`` (atomic write)."""
+        entry = {
+            "key": key,
+            "version": CACHE_FORMAT_VERSION,
+            "created": time.time(),
+            "report": report.to_dict(),
+        }
+        if metadata:
+            entry["metadata"] = metadata
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".cache-", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Tuple[int, int]:
+        """``(hits, misses)`` counted by this cache instance."""
+        return self.hits, self.misses

@@ -7,8 +7,8 @@ control count and the flow runtime — the columns of Tables I-IV.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
 
 from repro.reversible.circuit import ReversibleCircuit
 
@@ -55,6 +55,27 @@ class CostReport:
             verified=verified,
             extra=dict(extra or {}),
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable dictionary (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CostReport":
+        """Rebuild a report from :meth:`to_dict` output (e.g. a cache file)."""
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+    def metrics(self) -> Dict[str, Any]:
+        """The deterministic metrics: everything except the wall-clock runtime.
+
+        Two runs of the same configuration (serial or parallel, cached or
+        not) produce identical :meth:`metrics`; only ``runtime_seconds``
+        varies between runs.
+        """
+        data = self.to_dict()
+        data.pop("runtime_seconds", None)
+        return data
 
     def as_table_row(self):
         """The ``(n, qubits, T-count, runtime)`` row used by the benchmarks."""

@@ -1,22 +1,65 @@
-"""Design space exploration across flows and flow parameters.
+"""Design space exploration across flows, flow parameters and designs.
 
 The paper's central claim is that the combination of classical and
 reversible logic synthesis "enables nontrivial design space exploration":
 the designer can trade qubits against T-count (space against time) by
-choosing the flow and its parameters.  :class:`DesignSpaceExplorer` runs a
-set of flow configurations on one design and extracts the Pareto-optimal
-points of that trade-off.
+choosing the flow and its parameters.
+
+This module provides the exploration machinery at two levels:
+
+:class:`ExplorationEngine`
+    A batch engine that runs many :class:`ExplorationTask` configurations —
+    expanded from :class:`ParameterGrid` sweeps over flows × parameters ×
+    designs × bitwidths by :func:`build_sweep` — either serially or on a
+    process pool, with a persistent content-addressed
+    :class:`~repro.core.cache.ResultCache`, per-configuration error/timeout
+    capture (one failing flow never aborts a sweep) and streaming results
+    via :meth:`ExplorationEngine.run_iter`.  The bit-blasted AIG frontend
+    is computed once per design instance and shared across all of its
+    configurations.
+
+:class:`DesignSpaceExplorer`
+    The paper-facing convenience wrapper: one design, one bitwidth, a list
+    of :class:`FlowConfiguration`, Pareto-front analysis of the (qubits,
+    T-count) plane.  It delegates execution to the engine, so it inherits
+    parallelism and caching through its ``jobs`` / ``cache_dir`` arguments.
 """
 
 from __future__ import annotations
 
+import itertools
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.core.cache import ResultCache, cache_key
 from repro.core.cost import CostReport
-from repro.core.flows import run_flow
+from repro.core.flows import design_source, frontend_artifacts, run_flow
 
-__all__ = ["FlowConfiguration", "ParetoPoint", "DesignSpaceExplorer"]
+__all__ = [
+    "ConfigurationOutcome",
+    "DesignSpaceExplorer",
+    "ExplorationEngine",
+    "ExplorationTask",
+    "FlowConfiguration",
+    "ParameterGrid",
+    "ParetoPoint",
+    "build_sweep",
+    "default_configurations",
+    "pareto_front_of",
+]
 
 
 @dataclass(frozen=True)
@@ -58,8 +101,656 @@ def default_configurations() -> List[FlowConfiguration]:
     ]
 
 
+def pareto_front_of(reports: Dict[str, CostReport]) -> List[ParetoPoint]:
+    """Non-dominated points of ``label -> report`` on the (qubits, T-count) plane.
+
+    Dominance rule: a report is dominated iff another report has
+    ``qubits <=`` *and* ``t_count <=`` with at least one strict inequality.
+    Configurations with *identical* (qubits, T-count) do not dominate each
+    other; the front keeps exactly one representative per distinct cost
+    point — the lexicographically smallest configuration label — so
+    redundant points never appear twice.
+    """
+    best_label_for_point: Dict[Tuple[int, int], str] = {}
+    for label, report in reports.items():
+        point = (report.qubits, report.t_count)
+        incumbent = best_label_for_point.get(point)
+        if incumbent is None or label < incumbent:
+            best_label_for_point[point] = label
+    points = []
+    for (qubits, t_count), label in best_label_for_point.items():
+        report = reports[label]
+        dominated = any(
+            other.dominates(report)
+            for other in reports.values()
+            if (other.qubits, other.t_count) != (qubits, t_count)
+        )
+        if not dominated:
+            points.append(ParetoPoint(label, qubits, t_count, report))
+    points.sort(key=lambda point: (point.qubits, point.t_count))
+    return points
+
+
+# -- sweep construction -------------------------------------------------------
+
+
+class ParameterGrid:
+    """Expand one flow and parameter value ranges into configurations.
+
+    Every keyword argument names a flow parameter; scalar values are fixed,
+    list/tuple/range values are swept, and the grid is their Cartesian
+    product::
+
+        >>> [c.label() for c in ParameterGrid("esop", p=[0, 1])]
+        ['esop(p=0)', 'esop(p=1)']
+    """
+
+    def __init__(self, flow: str, **ranges: Any) -> None:
+        self.flow = flow
+        self.ranges: List[Tuple[str, Tuple[Any, ...]]] = []
+        for name in sorted(ranges):
+            values = ranges[name]
+            if isinstance(values, (list, tuple, range)):
+                values = tuple(values)  # explicit order is preserved
+            elif isinstance(values, (set, frozenset)):
+                values = tuple(sorted(values, key=repr))  # determinism only
+            else:
+                values = (values,)
+            if not values:
+                raise ValueError(f"empty value range for parameter {name!r}")
+            self.ranges.append((name, values))
+
+    def configurations(self) -> List[FlowConfiguration]:
+        """All configurations of the grid, in deterministic order."""
+        if not self.ranges:
+            return [FlowConfiguration(self.flow)]
+        names = [name for name, _ in self.ranges]
+        products = itertools.product(*(values for _, values in self.ranges))
+        return [
+            FlowConfiguration(self.flow, tuple(zip(names, combo)))
+            for combo in products
+        ]
+
+    def __iter__(self) -> Iterator[FlowConfiguration]:
+        return iter(self.configurations())
+
+    def __len__(self) -> int:
+        count = 1
+        for _, values in self.ranges:
+            count *= len(values)
+        return count
+
+
+@dataclass(frozen=True)
+class ExplorationTask:
+    """One unit of exploration work: a configuration bound to a design instance."""
+
+    design: str
+    bitwidth: int
+    configuration: FlowConfiguration
+    verilog: Optional[str] = None
+
+    def label(self) -> str:
+        return f"{self.design}({self.bitwidth})/{self.configuration.label()}"
+
+    def source(self) -> str:
+        """The Verilog source this task synthesises (for cache addressing)."""
+        if self.verilog is not None:
+            return self.verilog
+        return design_source(self.design, self.bitwidth)
+
+
+def build_sweep(
+    designs: Union[str, Sequence[str]],
+    bitwidths: Union[int, Sequence[int]],
+    configurations: Iterable[Union[FlowConfiguration, ParameterGrid]],
+    verilog: Optional[str] = None,
+) -> List[ExplorationTask]:
+    """Expand designs × bitwidths × configurations into exploration tasks.
+
+    ``configurations`` may mix plain :class:`FlowConfiguration` objects and
+    :class:`ParameterGrid` sweeps; grids are expanded in place.  ``verilog``
+    optionally supplies the source of a custom (non-built-in) design and is
+    attached to every task.
+    """
+    if isinstance(designs, str):
+        designs = [designs]
+    if isinstance(bitwidths, int):
+        bitwidths = [bitwidths]
+    expanded: List[FlowConfiguration] = []
+    for entry in configurations:
+        if isinstance(entry, ParameterGrid):
+            expanded.extend(entry.configurations())
+        else:
+            expanded.append(entry)
+    return [
+        ExplorationTask(design, bitwidth, configuration, verilog=verilog)
+        for design in designs
+        for bitwidth in bitwidths
+        for configuration in expanded
+    ]
+
+
+# -- outcomes -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConfigurationOutcome:
+    """The result of one exploration task: a report, a cache hit, or an error."""
+
+    task: ExplorationTask
+    report: Optional[CostReport] = None
+    error: Optional[str] = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.report is not None
+
+    def label(self) -> str:
+        return self.task.label()
+
+
+# -- worker -------------------------------------------------------------------
+
+#: Shared frontend artifacts (bit-blasted AIGs), keyed by frontend id.
+#: Populated once per worker process by the pool initializer, so task specs
+#: only carry a small id.  Serial in-process runs pass their table to
+#: :func:`_execute_task` explicitly instead — two interleaved serial
+#: engines must never clobber each other's tables.
+_WORKER_FRONTENDS: Dict[int, Dict[str, Any]] = {}
+
+
+def _set_worker_frontends(frontends: Dict[int, Dict[str, Any]]) -> None:
+    """Install the shared frontend table in this (worker) process."""
+    global _WORKER_FRONTENDS
+    _WORKER_FRONTENDS = frontends
+
+
+class _AlarmGuard:
+    """Best-effort per-configuration timeout via a POSIX interval timer.
+
+    Arms ``SIGALRM`` for ``timeout`` seconds; requires the main thread of
+    the (worker) process and is a silent no-op elsewhere.  ``disarm()``
+    restores the previously installed handler and any previously running
+    timer, so the calling process's own alarm machinery survives a serial
+    in-process run.
+    """
+
+    def __init__(self, timeout: Optional[float]) -> None:
+        self.armed = False
+        self._previous_handler = None
+        self._previous_timer = (0.0, 0.0)
+        if not timeout:
+            return
+        try:
+            import signal
+
+            def _on_timeout(signum, frame):
+                raise TimeoutError(
+                    f"configuration exceeded timeout of {timeout} s"
+                )
+
+            self._previous_handler = signal.signal(signal.SIGALRM, _on_timeout)
+        except Exception:  # not the main thread, no SIGALRM on this platform
+            return
+        try:
+            self._previous_timer = signal.setitimer(signal.ITIMER_REAL, timeout)
+        except Exception:
+            # e.g. OverflowError for absurd timeouts: undo the handler swap
+            # so the arming failure cannot corrupt the host's SIGALRM state.
+            signal.signal(signal.SIGALRM, self._previous_handler)
+            return
+        import time
+
+        self._armed_at = time.monotonic()
+        self.armed = True
+
+    def disarm(self) -> None:
+        if not self.armed:
+            return
+        self.armed = False
+        import signal
+        import time
+
+        delay, interval = self._previous_timer
+        if delay > 0:
+            # The host's timer kept "running" conceptually while ours was
+            # armed: restore what would be left of it, not its full span.
+            delay = max(delay - (time.monotonic() - self._armed_at), 1e-3)
+        signal.setitimer(signal.ITIMER_REAL, delay, interval)
+        if self._previous_handler is not None:
+            signal.signal(signal.SIGALRM, self._previous_handler)
+
+
+def _execute_task(
+    spec: Dict[str, Any],
+    frontends: Optional[Dict[int, Dict[str, Any]]] = None,
+) -> Tuple[int, str, Optional[CostReport]]:
+    """Run one flow configuration; never raises.
+
+    Module-level so it can be pickled into :class:`ProcessPoolExecutor`
+    workers.  Returns ``(index, error_message, report)`` where exactly one
+    of ``error_message`` / ``report`` is meaningful.  A positive
+    ``timeout`` arms an :class:`_AlarmGuard` around the flow execution; a
+    late alarm that fires after the flow already produced its report is
+    ignored rather than misreported as a failure.
+    """
+    index = spec["index"]
+    guard = _AlarmGuard(spec.get("timeout"))
+    report: Optional[CostReport] = None
+    error = ""
+    try:
+        try:
+            parameters = dict(spec["parameters"])
+            if "verilog" not in parameters and "aig" not in parameters:
+                # The shared frontend only applies when the configuration
+                # does not bring its own design source/AIG — configuration
+                # parameters always win over engine-level sharing.
+                table = _WORKER_FRONTENDS if frontends is None else frontends
+                frontend = table.get(spec.get("frontend_id"), {})
+                if frontend.get("verilog") is not None:
+                    parameters["verilog"] = frontend["verilog"]
+                elif spec.get("verilog") is not None:
+                    parameters["verilog"] = spec["verilog"]
+                if frontend.get("aig") is not None:
+                    parameters["aig"] = frontend["aig"]
+            result = run_flow(
+                spec["flow"],
+                spec["design"],
+                spec["bitwidth"],
+                verify=spec["verify"],
+                cost_model=spec["cost_model"],
+                **parameters,
+            )
+            report = result.report
+        finally:
+            guard.disarm()
+    except BaseException as exc:  # error isolation: one task must not kill a sweep
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        error = f"{type(exc).__name__}: {exc}"
+    if report is not None:
+        return index, "", report
+    return index, error or "unknown error", None
+
+
+# -- engine -------------------------------------------------------------------
+
+
+class ExplorationEngine:
+    """Run batches of exploration tasks with parallelism and caching.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes; ``1`` (the default) runs serially in
+        the calling process, larger values use a
+        :class:`~concurrent.futures.ProcessPoolExecutor`.
+    cache:
+        ``None`` to disable caching, a directory path, or a pre-built
+        :class:`ResultCache`.  Cached results are content-addressed on the
+        design source + flow + parameters + bitwidth + cost model + verify
+        flag, so a cached sweep re-runs zero flows.
+    timeout:
+        Optional per-configuration wall-clock budget in seconds; a timed
+        out configuration is recorded as a failed outcome.
+    share_frontend:
+        Bit-blast each distinct design instance once and share the AIG
+        across all of its configurations (serial path; worker processes
+        receive the pickled AIG).
+    on_result:
+        Optional callback invoked with each :class:`ConfigurationOutcome`
+        as it completes — the streaming hook used by the CLI progress
+        output.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Union[None, str, ResultCache] = None,
+        verify: bool = True,
+        cost_model: str = "rtof",
+        timeout: Optional[float] = None,
+        share_frontend: bool = True,
+        on_result: Optional[Callable[[ConfigurationOutcome], None]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        if cache is None or isinstance(cache, ResultCache):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(cache)
+        self.verify = verify
+        self.cost_model = cost_model
+        self.timeout = timeout
+        self.share_frontend = share_frontend
+        self.on_result = on_result
+        #: Configurations dispatched for execution (cache misses, whether
+        #: they succeeded or failed) in the last :meth:`run`.
+        self.executed = 0
+        #: Cache hits in the last :meth:`run`.
+        self.cache_hits = 0
+        #: Failed configurations in the last :meth:`run`.
+        self.failures = 0
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, tasks: Sequence[ExplorationTask]) -> List[ConfigurationOutcome]:
+        """Run every task; outcomes are returned in task order."""
+        tasks = list(tasks)
+        slots: List[Optional[ConfigurationOutcome]] = [None] * len(tasks)
+        for index, outcome in self._run_indexed(tasks):
+            slots[index] = outcome
+        return [outcome for outcome in slots if outcome is not None]
+
+    def run_iter(
+        self, tasks: Sequence[ExplorationTask]
+    ) -> Iterator[ConfigurationOutcome]:
+        """Run every task, yielding outcomes as they complete (streaming)."""
+        for _, outcome in self._run_indexed(tasks):
+            yield outcome
+
+    def _run_indexed(
+        self, tasks: Sequence[ExplorationTask]
+    ) -> Iterator[Tuple[int, ConfigurationOutcome]]:
+        """Run every task, yielding ``(task position, outcome)`` pairs."""
+        self.executed = 0
+        self.cache_hits = 0
+        self.failures = 0
+
+        tasks = list(tasks)
+        # The Verilog sources are only needed for cache addressing and for
+        # the shared frontend; with both disabled the workers generate
+        # them on demand.
+        need_sources = self.cache is not None or self.share_frontend
+        sources: Dict[Tuple[str, int, Optional[str]], Optional[str]] = {}
+        for task in tasks:
+            instance = (task.design, task.bitwidth, task.verilog)
+            if instance not in sources:
+                if not need_sources:
+                    sources[instance] = None
+                    continue
+                try:
+                    sources[instance] = task.source()
+                except Exception:
+                    # Unbuildable design: the worker reports the real error
+                    # per task; the instance just cannot be cache-addressed.
+                    sources[instance] = None
+
+        pending: List[Tuple[int, ExplorationTask, Optional[str]]] = []
+        for index, task in enumerate(tasks):
+            source = sources[(task.design, task.bitwidth, task.verilog)]
+            key = None
+            if self.cache is not None and source is not None:
+                key = cache_key(
+                    source,
+                    task.configuration.flow,
+                    task.configuration.parameters,
+                    task.bitwidth,
+                    cost_model=self.cost_model,
+                    verify=self.verify,
+                    design=task.design,
+                )
+            if self.cache is not None and key is not None:
+                report = self.cache.get(key)
+                if report is not None:
+                    self.cache_hits += 1
+                    yield index, self._emit(
+                        ConfigurationOutcome(task, report=report, cached=True)
+                    )
+                    continue
+            pending.append((index, task, key))
+
+        if not pending:
+            return
+
+        frontend_ids, frontends_by_id = self._shared_frontends(pending, sources)
+        specs = [
+            self._task_spec(index, task, frontend_ids)
+            for index, task, _ in pending
+        ]
+        keys = {index: key for index, _, key in pending}
+        by_index = {index: task for index, task, _ in pending}
+
+        # jobs > 1 always uses the pool, even for a single pending task:
+        # the pool is what provides crash isolation and keeps SIGALRM out
+        # of the calling process.
+        if self.jobs == 1:
+            for spec in specs:
+                index, error, report = _execute_task(spec, frontends_by_id)
+                yield index, self._finish(
+                    by_index[index], keys[index], error, report
+                )
+            return
+
+        for index, error, report in self._run_pool(specs, frontends_by_id):
+            yield index, self._finish(by_index[index], keys[index], error, report)
+
+    #: A task that was in flight during this many pool crashes is assumed
+    #: to be the crasher and recorded as failed instead of retried.
+    MAX_CRASH_SUSPICIONS = 2
+
+    def _run_pool(
+        self,
+        specs: Sequence[Dict[str, Any]],
+        frontends_by_id: Dict[int, Dict[str, Any]],
+    ) -> Iterator[Tuple[int, str, Optional[CostReport]]]:
+        """Execute task specs on a process pool, surviving dead workers.
+
+        A worker that dies outright (OOM, segfault in native code,
+        ``sys.exit``) breaks the whole :class:`ProcessPoolExecutor`; to keep
+        the per-configuration error-isolation contract, the unfinished
+        specs are resubmitted on a fresh pool.  Only the (bounded set of)
+        specs whose futures broke are counted as crash suspects; a spec in
+        flight during :attr:`MAX_CRASH_SUSPICIONS` crashes is recorded as
+        failed rather than retried, so a reliably crashing configuration
+        cannot restart pools forever.  The shared frontends are shipped
+        once per worker process (via the pool initializer), not once per
+        task spec.
+        """
+        queue = list(specs)
+        suspicions: Dict[int, int] = {}
+        while queue:
+            before = len(queue)
+            queue, crashed = yield from self._drain_one_pool(queue, frontends_by_id)
+            if not crashed and len(queue) == before:
+                # The pool could not make any progress at all (e.g. worker
+                # processes cannot even start): fail the remainder rather
+                # than restarting pools forever.
+                for spec in queue:
+                    yield spec["index"], "process pool unavailable", None
+                return
+            for spec in crashed:
+                index = spec["index"]
+                suspicions[index] = suspicions.get(index, 0) + 1
+                if suspicions[index] >= self.MAX_CRASH_SUSPICIONS:
+                    yield (
+                        index,
+                        "worker process died repeatedly while running this "
+                        "configuration",
+                        None,
+                    )
+                else:
+                    queue.append(spec)
+
+    def _drain_one_pool(
+        self,
+        queue: List[Dict[str, Any]],
+        frontends_by_id: Dict[int, Dict[str, Any]],
+    ):
+        """Run specs on one pool; returns ``(unsubmitted, crashed)`` on a break.
+
+        Keeps at most ``2 * jobs`` futures outstanding so that when the
+        pool breaks, the set of specs whose futures errored — the crash
+        suspects — is small; specs never submitted are retried without
+        suspicion.
+        """
+        queue = list(queue)
+        crashed: List[Dict[str, Any]] = []
+        with ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_set_worker_frontends,
+            initargs=(frontends_by_id,),
+        ) as pool:
+            futures: Dict[Any, Dict[str, Any]] = {}
+            while queue or futures:
+                try:
+                    while queue and len(futures) < 2 * self.jobs:
+                        spec = queue.pop(0)
+                        futures[pool.submit(_execute_task, spec)] = spec
+                except Exception:
+                    # The pool broke between a worker dying and us seeing
+                    # its future fail: submit() raises BrokenProcessPool.
+                    # The spec being submitted never ran — retry it without
+                    # suspicion; the in-flight ones are the suspects.
+                    queue.insert(0, spec)
+                    yield from self._salvage_outstanding(futures, crashed)
+                    return queue, crashed
+                done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec = futures.pop(future)
+                    try:
+                        yield future.result()
+                    except BrokenProcessPool:
+                        crashed.append(spec)
+                    except Exception as exc:
+                        # The pool is healthy; only this task's future
+                        # failed (e.g. its parameters or result could not
+                        # be pickled).  Record it and keep the pool.
+                        yield (
+                            spec["index"],
+                            f"{type(exc).__name__}: {exc}",
+                            None,
+                        )
+                if crashed:
+                    # The pool is broken.  Harvest any future that still
+                    # finished with a valid result; only the truly lost
+                    # ones become crash suspects for the retry.
+                    yield from self._salvage_outstanding(futures, crashed)
+                    return queue, crashed
+        return queue, crashed
+
+    @staticmethod
+    def _salvage_outstanding(
+        futures: Dict[Any, Dict[str, Any]],
+        crashed: List[Dict[str, Any]],
+    ) -> Iterator[Tuple[int, str, Optional[CostReport]]]:
+        """Yield results of already-completed futures; mark the rest crashed.
+
+        A completed-but-unharvested result must not be discarded when the
+        pool breaks — otherwise an innocent long-running configuration
+        that straddles two crashes would be reported as the crasher.
+        """
+        for future, spec in futures.items():
+            if future.done() and future.exception() is None:
+                yield future.result()
+            else:
+                crashed.append(spec)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _shared_frontends(
+        self,
+        pending: Sequence[Tuple[int, ExplorationTask, Optional[str]]],
+        sources: Dict[Tuple[str, int, Optional[str]], Optional[str]],
+    ) -> Tuple[Dict[Tuple[str, int, Optional[str]], int], Dict[int, Dict[str, Any]]]:
+        """Bit-blast each distinct design instance once, if sharing is on.
+
+        Returns ``(instance -> frontend id, frontend id -> artifacts)``;
+        task specs carry only the small integer id, and the artifact table
+        is shipped to each worker once.
+
+        Known limitation: the bit-blasts run serially in the calling
+        process before any worker starts, and every worker receives the
+        whole table.  For sweeps whose frontend cost rivals the flows
+        themselves, pass ``share_frontend=False`` (CLI
+        ``--no-shared-frontend``) to bit-blast per configuration inside
+        the workers instead.
+        """
+        frontend_ids: Dict[Tuple[str, int, Optional[str]], int] = {}
+        frontends_by_id: Dict[int, Dict[str, Any]] = {}
+        if not self.share_frontend:
+            return frontend_ids, frontends_by_id
+        for _, task, _ in pending:
+            instance = (task.design, task.bitwidth, task.verilog)
+            if instance in frontend_ids or sources[instance] is None:
+                continue
+            try:
+                # The bit-blast runs in the calling process, so it gets the
+                # same per-configuration timeout budget as the flows.
+                guard = _AlarmGuard(self.timeout)
+                try:
+                    artifacts = frontend_artifacts(
+                        task.design, task.bitwidth, verilog=sources[instance]
+                    )
+                finally:
+                    guard.disarm()
+            except Exception:
+                # An unbuildable (or too slow) design is reported per-task
+                # by the worker, with the real error message, instead of
+                # aborting the sweep.
+                continue
+            frontend_id = len(frontends_by_id)
+            frontend_ids[instance] = frontend_id
+            frontends_by_id[frontend_id] = artifacts
+        return frontend_ids, frontends_by_id
+
+    def _task_spec(
+        self,
+        index: int,
+        task: ExplorationTask,
+        frontend_ids: Dict[Tuple[str, int, Optional[str]], int],
+    ) -> Dict[str, Any]:
+        return {
+            "index": index,
+            "design": task.design,
+            "bitwidth": task.bitwidth,
+            "flow": task.configuration.flow,
+            "parameters": task.configuration.parameters,
+            "verify": self.verify,
+            "cost_model": self.cost_model,
+            "timeout": self.timeout,
+            "verilog": task.verilog,
+            "frontend_id": frontend_ids.get(
+                (task.design, task.bitwidth, task.verilog)
+            ),
+        }
+
+    def _finish(
+        self,
+        task: ExplorationTask,
+        key: Optional[str],
+        error: str,
+        report: Optional[CostReport],
+    ) -> ConfigurationOutcome:
+        self.executed += 1
+        if report is None:
+            self.failures += 1
+            outcome = ConfigurationOutcome(task, error=error or "unknown error")
+        else:
+            if self.cache is not None and key is not None:
+                self.cache.put(key, report, label=task.label())
+            outcome = ConfigurationOutcome(task, report=report)
+        return self._emit(outcome)
+
+    def _emit(self, outcome: ConfigurationOutcome) -> ConfigurationOutcome:
+        if self.on_result is not None:
+            self.on_result(outcome)
+        return outcome
+
+
+# -- the paper-facing explorer ------------------------------------------------
+
+
 class DesignSpaceExplorer:
-    """Run several flow configurations on one design and analyse the results."""
+    """Run several flow configurations on one design and analyse the results.
+
+    Execution is delegated to an :class:`ExplorationEngine`; pass ``jobs``,
+    ``cache_dir`` and ``timeout`` to explore in parallel, reuse previous
+    results and survive misbehaving configurations.
+    """
 
     def __init__(
         self,
@@ -68,66 +759,96 @@ class DesignSpaceExplorer:
         configurations: Optional[Sequence[FlowConfiguration]] = None,
         verify: bool = True,
         cost_model: str = "rtof",
+        jobs: int = 1,
+        cache_dir: Union[None, str, ResultCache] = None,
+        timeout: Optional[float] = None,
+        share_frontend: bool = True,
     ):
         self.design = design
         self.bitwidth = bitwidth
         self.configurations = list(configurations or default_configurations())
         self.verify = verify
         self.cost_model = cost_model
+        self.engine = ExplorationEngine(
+            jobs=jobs,
+            cache=cache_dir,
+            verify=verify,
+            cost_model=cost_model,
+            timeout=timeout,
+            share_frontend=share_frontend,
+        )
         self.reports: Dict[str, CostReport] = {}
+        self.errors: Dict[str, str] = {}
+        self._explored = False
 
     # -- exploration --------------------------------------------------------------
 
-    def explore(self) -> Dict[str, CostReport]:
-        """Run every configuration; returns label -> cost report."""
-        for configuration in self.configurations:
-            result = run_flow(
-                configuration.flow,
-                self.design,
-                self.bitwidth,
-                verify=self.verify,
-                cost_model=self.cost_model,
-                **configuration.as_kwargs(),
-            )
-            self.reports[configuration.label()] = result.report
+    def explore(
+        self, on_result: Optional[Callable[[ConfigurationOutcome], None]] = None
+    ) -> Dict[str, CostReport]:
+        """Run every configuration; returns label -> cost report.
+
+        Failing configurations are captured in :attr:`errors` instead of
+        aborting the exploration; ``on_result`` streams outcomes as they
+        complete.  Both :attr:`reports` and :attr:`errors` are reset at
+        the start of every call, so a retry never shows stale failures.
+        """
+        self.reports = {}
+        self.errors = {}
+        tasks = build_sweep(self.design, self.bitwidth, self.configurations)
+        self.engine.on_result = on_result
+        for outcome in self.engine.run_iter(tasks):
+            label = outcome.task.configuration.label()
+            if outcome.ok:
+                self.reports[label] = outcome.report
+            else:
+                self.errors[label] = outcome.error
+        self._explored = True
         return dict(self.reports)
+
+    def _ensure_explored(self) -> None:
+        if not self.reports and not self._explored:
+            self.explore()
+
+    def _require_reports(self) -> None:
+        self._ensure_explored()
+        if not self.reports:
+            detail = "; ".join(
+                f"{label}: {error}" for label, error in self.errors.items()
+            )
+            raise RuntimeError(
+                "no configuration produced a report"
+                + (f" ({detail})" if detail else "")
+            )
 
     # -- analysis -----------------------------------------------------------------
 
     def pareto_front(self) -> List[ParetoPoint]:
-        """Non-dominated points on the (qubits, T-count) plane."""
-        if not self.reports:
-            self.explore()
-        points = []
-        for label, report in self.reports.items():
-            dominated = any(
-                other.dominates(report)
-                for other_label, other in self.reports.items()
-                if other_label != label
-            )
-            if not dominated:
-                points.append(
-                    ParetoPoint(label, report.qubits, report.t_count, report)
-                )
-        points.sort(key=lambda point: (point.qubits, point.t_count))
-        return points
+        """Non-dominated points on the (qubits, T-count) plane.
+
+        Dominance rule: a report is dominated iff another report has
+        ``qubits <=`` *and* ``t_count <=`` with at least one strict
+        inequality.  Configurations with *identical* (qubits, T-count) do
+        not dominate each other; the front keeps exactly one representative
+        per distinct cost point — the lexicographically smallest
+        configuration label — so redundant points never appear twice.
+        """
+        self._ensure_explored()
+        return pareto_front_of(self.reports)
 
     def best_by_qubits(self) -> CostReport:
         """The configuration with the fewest qubits."""
-        if not self.reports:
-            self.explore()
+        self._require_reports()
         return min(self.reports.values(), key=lambda report: report.qubits)
 
     def best_by_t_count(self) -> CostReport:
         """The configuration with the smallest T-count."""
-        if not self.reports:
-            self.explore()
+        self._require_reports()
         return min(self.reports.values(), key=lambda report: report.t_count)
 
     def summary_rows(self) -> List[tuple]:
         """Rows ``(configuration, qubits, T-count, runtime)`` for reporting."""
-        if not self.reports:
-            self.explore()
+        self._ensure_explored()
         return [
             (label, report.qubits, report.t_count, report.runtime_seconds)
             for label, report in sorted(self.reports.items())

@@ -22,10 +22,29 @@ __all__ = ["Flow", "FlowResult", "FlowStage"]
 
 @dataclass
 class FlowStage:
-    """One stage of a flow: a name and a context transformer."""
+    """One stage of a flow: a name and a context transformer.
+
+    ``provides`` names the context keys the stage is responsible for
+    computing.  When every one of them is already present in the context —
+    e.g. because a batch engine pre-computed the bit-blasted AIG once and
+    shares it across configurations — the stage is skipped entirely and
+    recorded in :attr:`FlowResult.skipped_stages`.
+    """
 
     name: str
     run: Callable[[Dict[str, Any]], None]
+    provides: tuple = ()
+
+    def is_satisfied_by(self, context: Dict[str, Any]) -> bool:
+        """True when all declared outputs are already in the context.
+
+        ``None`` does not satisfy a requirement — a caller forwarding an
+        unset optional artifact (e.g. ``aig=None``) gets the stage run,
+        not a skip into a crash downstream.
+        """
+        return bool(self.provides) and all(
+            context.get(key) is not None for key in self.provides
+        )
 
 
 @dataclass
@@ -39,6 +58,7 @@ class FlowResult:
     report: CostReport
     stage_runtimes: Dict[str, float] = field(default_factory=dict)
     context: Dict[str, Any] = field(default_factory=dict)
+    skipped_stages: List[str] = field(default_factory=list)
 
     def stage_runtime(self, name: str) -> float:
         """Runtime of one stage in seconds."""
@@ -73,8 +93,13 @@ class Flow:
             **parameters,
         }
         stage_runtimes: Dict[str, float] = {}
+        skipped_stages: List[str] = []
         start = time.perf_counter()
         for stage in self.stages:
+            if stage.is_satisfied_by(context):
+                stage_runtimes[stage.name] = 0.0
+                skipped_stages.append(stage.name)
+                continue
             stage_start = time.perf_counter()
             stage.run(context)
             stage_runtimes[stage.name] = time.perf_counter() - stage_start
@@ -103,4 +128,5 @@ class Flow:
             report=report,
             stage_runtimes=stage_runtimes,
             context=context,
+            skipped_stages=skipped_stages,
         )

@@ -37,6 +37,7 @@ __all__ = [
     "available_flows",
     "design_source",
     "esop_flow",
+    "frontend_artifacts",
     "hierarchical_flow",
     "run_flow",
     "symbolic_flow",
@@ -68,14 +69,37 @@ def design_source(design: str, bitwidth: int) -> str:
 
 
 def _stage_frontend(context: Dict[str, Any]) -> None:
-    """Design entry: generate/accept Verilog and bit-blast it into an AIG."""
-    if isinstance(context.get("aig"), Aig):
-        return
+    """Design entry: generate/accept Verilog and bit-blast it into an AIG.
+
+    The stage declares that it ``provides`` the AIG, so :meth:`Flow.run`
+    skips it whenever ``aig`` is already seeded into the context (a
+    pre-built AIG passed to :func:`run_flow`, or the shared frontend of a
+    batch exploration).
+    """
     source = context.get("verilog")
     if source is None:
         source = design_source(context["design"], context["bitwidth"])
         context["verilog"] = source
     context["aig"] = synthesize_verilog(source)
+
+
+def frontend_artifacts(
+    design: str, bitwidth: int, verilog: Optional[str] = None
+) -> Dict[str, Any]:
+    """Pre-compute the shared frontend stage of every flow.
+
+    Returns ``{"verilog": source, "aig": aig}`` ready to be passed as extra
+    keyword arguments to :func:`run_flow`; seeding these artifacts skips
+    the frontend stage.  The optimisation passes downstream are purely
+    functional (they never mutate their input AIG), so one bit-blasted AIG
+    is safe to share across arbitrarily many configurations of the same
+    design instance.
+    """
+    context: Dict[str, Any] = {"design": design, "bitwidth": bitwidth}
+    if verilog is not None:
+        context["verilog"] = verilog
+    _stage_frontend(context)
+    return {"verilog": context["verilog"], "aig": context["aig"]}
 
 
 def _make_optimize_stage(script: str, rounds: int) -> FlowStage:
@@ -143,7 +167,7 @@ def symbolic_flow(cost_model: str = "rtof", optimization_rounds: int = 2) -> Flo
     return Flow(
         "symbolic",
         [
-            FlowStage("frontend", _stage_frontend),
+            FlowStage("frontend", _stage_frontend, provides=("aig",)),
             _make_optimize_stage("dc2", optimization_rounds),
             FlowStage("collapse", _stage_collapse_bdd),
             FlowStage("embed", _stage_embed),
@@ -181,7 +205,7 @@ def esop_flow(cost_model: str = "rtof", optimization_rounds: int = 1) -> Flow:
     return Flow(
         "esop",
         [
-            FlowStage("frontend", _stage_frontend),
+            FlowStage("frontend", _stage_frontend, provides=("aig",)),
             _make_optimize_stage("dc2", optimization_rounds),
             FlowStage("exorcism", _stage_esop_extract),
             FlowStage("esop-synthesis", _stage_esop_synthesis),
@@ -218,7 +242,7 @@ def hierarchical_flow(cost_model: str = "rtof", optimization_rounds: int = 2) ->
     return Flow(
         "hierarchical",
         [
-            FlowStage("frontend", _stage_frontend),
+            FlowStage("frontend", _stage_frontend, provides=("aig",)),
             _make_optimize_stage("resyn2", optimization_rounds),
             FlowStage("xmglut", _stage_xmg_map),
             FlowStage("hierarchical-synthesis", _stage_hierarchical),

@@ -7,6 +7,7 @@ use these helpers to print rows shaped like the paper's Tables I-IV
 
 from __future__ import annotations
 
+import json
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.cost import CostReport
@@ -17,6 +18,9 @@ __all__ = [
     "side_by_side_table",
     "ratio_summary",
     "flow_graph_description",
+    "outcome_table",
+    "reports_to_json",
+    "reports_from_json",
 ]
 
 
@@ -71,6 +75,47 @@ def ratio_summary(
             )
         )
     return rows
+
+
+def outcome_table(outcomes: Sequence, title: str = "") -> str:
+    """Render engine outcomes — including failures and cache hits — as a table.
+
+    ``outcomes`` are :class:`repro.core.explorer.ConfigurationOutcome`
+    objects (typed loosely to avoid an import cycle).  Failed
+    configurations show their error message instead of metrics, so a sweep
+    report never silently drops a configuration.
+    """
+    rows = []
+    for outcome in outcomes:
+        if outcome.ok:
+            report = outcome.report
+            status = "cached" if outcome.cached else "ok"
+            rows.append(
+                (
+                    outcome.label(),
+                    report.qubits,
+                    report.t_count,
+                    f"{report.runtime_seconds:.3f}",
+                    status,
+                )
+            )
+        else:
+            rows.append((outcome.label(), "-", "-", "-", f"error: {outcome.error}"))
+    return format_table(
+        ["configuration", "qubits", "T-count", "runtime [s]", "status"],
+        rows,
+        title=title,
+    )
+
+
+def reports_to_json(reports: Iterable[CostReport], indent: Optional[int] = 2) -> str:
+    """Serialise a collection of reports as a JSON array."""
+    return json.dumps([report.to_dict() for report in reports], indent=indent)
+
+
+def reports_from_json(text: str) -> List[CostReport]:
+    """Inverse of :func:`reports_to_json`."""
+    return [CostReport.from_dict(entry) for entry in json.loads(text)]
 
 
 def flow_graph_description() -> str:
