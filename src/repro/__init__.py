@@ -62,11 +62,17 @@ from repro.core.flows import (
 )
 from repro.hdl.designs import intdiv_verilog, newton_verilog
 from repro.hdl.synthesize import synthesize_verilog
+from repro.verify.differential import (
+    DifferentialResult,
+    check_equivalent,
+    mapped_circuit_simulator,
+)
 
 __all__ = [
     "ConfigurationOutcome",
     "CostReport",
     "DesignSpaceExplorer",
+    "DifferentialResult",
     "ExplorationEngine",
     "ExplorationTask",
     "FlowConfiguration",
@@ -75,10 +81,12 @@ __all__ = [
     "ResultCache",
     "available_flows",
     "build_sweep",
+    "check_equivalent",
     "esop_flow",
     "frontend_artifacts",
     "hierarchical_flow",
     "intdiv_verilog",
+    "mapped_circuit_simulator",
     "newton_verilog",
     "pareto_front_of",
     "run_flow",

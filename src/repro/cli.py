@@ -5,6 +5,8 @@ Examples::
     python -m repro flow --flow esop --design intdiv -n 8 -p 0
     python -m repro flow --flow hierarchical --verilog adder.v -n 8 --real out.real
     python -m repro explore --design intdiv -n 6
+    python -m repro explore --design intdiv -n 8 --verify sampled
+    python -m repro verify --design intdiv -n 4 --mode full --quantum
     python -m repro explore --designs intdiv newton --bitwidths 4 5 6 \
         --sweep esop:p=0,1 --sweep hierarchical:strategy=bennett,per_output \
         --jobs 4 --cache ~/.cache/repro                   # parallel cached sweep
@@ -38,6 +40,7 @@ from repro.io.qasm import write_qasm
 from repro.io.realfmt import write_real
 from repro.quantum.mapping import map_to_clifford_t
 from repro.utils.tables import format_table
+from repro.verify.differential import check_equivalent, mapped_circuit_simulator
 
 __all__ = ["main", "build_parser", "parse_sweep_spec"]
 
@@ -125,7 +128,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--bitwidths", nargs="+", type=int, metavar="N",
         help="sweep several bitwidths (overrides --bitwidth)",
     )
-    explore.add_argument("--no-verify", action="store_true")
+    explore.add_argument(
+        "--verify", choices=["off", "sampled", "full", "auto"], default="auto",
+        help="equivalence checking of every synthesised circuit: off, "
+        "sampled (random patterns), full (exhaustive), or auto "
+        "(full when the input count permits; default)",
+    )
+    explore.add_argument(
+        "--no-verify", action="store_true",
+        help="alias for --verify off (kept for compatibility)",
+    )
     explore.add_argument(
         "-j", "--jobs", type=int, default=1,
         help="worker processes (1 = serial, default)",
@@ -155,6 +167,37 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument(
         "--quiet", action="store_true", help="suppress per-configuration progress"
     )
+
+    verify = subparsers.add_parser(
+        "verify",
+        help="differentially verify flow outputs across representation layers",
+        description="Run flows and cross-check every layer with the "
+        "bit-parallel differential checker: bit-blasted AIG vs synthesised "
+        "reversible circuit, and optionally vs the mapped Clifford+T "
+        "circuit (--quantum).",
+    )
+    verify.add_argument("--design", default="intdiv")
+    verify.add_argument("--verilog", type=Path, help="path to a Verilog file to verify instead")
+    verify.add_argument("-n", "--bitwidth", type=int, default=4)
+    verify.add_argument(
+        "--flows", nargs="+", metavar="FLOW", choices=sorted(available_flows()),
+        help="flows to check (default: all)",
+    )
+    verify.add_argument(
+        "--mode", choices=["sampled", "full", "auto"], default="auto",
+        help="pattern regime of the differential check (default: auto)",
+    )
+    verify.add_argument(
+        "--samples", type=int, default=256,
+        help="pattern budget for sampled checks (default: 256)",
+    )
+    verify.add_argument("--seed", type=int, default=1, help="sampling seed")
+    verify.add_argument(
+        "--quantum", action="store_true",
+        help="also map to Clifford+T and check the mapped circuit acts as "
+        "the same permutation (statevector simulation; small circuits only)",
+    )
+    verify.add_argument("--cost-model", default="rtof", choices=["rtof", "barenco"])
 
     designs = subparsers.add_parser("designs", help="print generated Verilog for a built-in design")
     designs.add_argument("--design", default="intdiv")
@@ -234,11 +277,12 @@ def _command_explore(args: argparse.Namespace) -> int:
             detail = f"error: {outcome.error}"
         print(f"[{progress['done']}/{len(tasks)}] {outcome.label()}: {detail}")
 
+    verify_mode = "off" if args.no_verify else args.verify
     try:
         engine = ExplorationEngine(
             jobs=args.jobs,
             cache=args.cache,
-            verify=not args.no_verify,
+            verify=verify_mode,
             cost_model=args.cost_model,
             timeout=args.timeout,
             share_frontend=not args.no_shared_frontend,
@@ -290,6 +334,94 @@ def _command_explore(args: argparse.Namespace) -> int:
     return 0 if engine.failures == 0 else 1
 
 
+#: ``repro verify --quantum`` falls back to skipping the Clifford+T leg
+#: above this many qubits: the statevector check is exponential in the
+#: qubit count and exists to validate the mapping, not to scale.
+_QUANTUM_VERIFY_QUBIT_LIMIT = 14
+
+#: Pattern budget of the Clifford+T leg (each pattern is one dense
+#: statevector simulation of the whole mapped circuit).
+_QUANTUM_VERIFY_MAX_SAMPLES = 32
+
+
+def _command_verify(args: argparse.Namespace) -> int:
+    flows = args.flows or sorted(available_flows())
+    parameters = {}
+    if args.verilog is not None:
+        parameters["verilog"] = args.verilog.read_text()
+
+    rows = []
+    failures = 0
+    for flow_name in flows:
+        result = run_flow(
+            flow_name,
+            args.design,
+            args.bitwidth,
+            verify="off",
+            cost_model=args.cost_model,
+            **parameters,
+        )
+        aig = result.context["aig"]
+        check = check_equivalent(
+            aig,
+            result.circuit,
+            mode=args.mode,
+            num_samples=args.samples,
+            seed=args.seed,
+        )
+        failures += 0 if check.equivalent else 1
+        rows.append(
+            (
+                flow_name,
+                "aig = circuit",
+                check.num_patterns,
+                "full" if check.complete else "sampled",
+                "ok" if check.equivalent else f"FAIL: {check.message}",
+            )
+        )
+        if args.quantum:
+            quantum = map_to_clifford_t(result.circuit)
+            if quantum.num_qubits > _QUANTUM_VERIFY_QUBIT_LIMIT:
+                rows.append(
+                    (
+                        flow_name,
+                        "circuit = clifford+t",
+                        0,
+                        "-",
+                        f"skipped ({quantum.num_qubits} qubits > "
+                        f"{_QUANTUM_VERIFY_QUBIT_LIMIT})",
+                    )
+                )
+                continue
+            quantum_check = check_equivalent(
+                result.circuit,
+                mapped_circuit_simulator(quantum, result.circuit),
+                mode="sampled",
+                num_samples=min(args.samples, _QUANTUM_VERIFY_MAX_SAMPLES),
+                seed=args.seed,
+            )
+            failures += 0 if quantum_check.equivalent else 1
+            rows.append(
+                (
+                    flow_name,
+                    "circuit = clifford+t",
+                    quantum_check.num_patterns,
+                    "full" if quantum_check.complete else "sampled",
+                    "ok" if quantum_check.equivalent else f"FAIL: {quantum_check.message}",
+                )
+            )
+
+    design_label = args.design if args.verilog is None else args.verilog.name
+    print(
+        format_table(
+            ["flow", "check", "patterns", "coverage", "result"],
+            rows,
+            title=f"Differential verification of {design_label}({args.bitwidth})",
+        )
+    )
+    return 0 if failures == 0 else 1
+
+
 def _command_designs(args: argparse.Namespace) -> int:
     print(design_source(args.design, args.bitwidth), end="")
     return 0
@@ -318,6 +450,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "flow": _command_flow,
         "explore": _command_explore,
+        "verify": _command_verify,
         "designs": _command_designs,
         "baselines": _command_baselines,
     }

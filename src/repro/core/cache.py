@@ -33,7 +33,7 @@ __all__ = ["ResultCache", "cache_key"]
 
 #: Bump to invalidate all existing cache entries when the meaning of a
 #: report (or of a flow) changes incompatibly.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 
 
 def _canonical_parameters(parameters: Any) -> Any:
@@ -51,7 +51,7 @@ def cache_key(
     parameters: Any,
     bitwidth: int,
     cost_model: str = "rtof",
-    verify: bool = True,
+    verify: Any = True,
     design: str = "",
 ) -> str:
     """Content-addressed key of one flow execution.
@@ -60,7 +60,12 @@ def cache_key(
     is a dict or a tuple of ``(name, value)`` pairs.  ``design`` is the
     design's name — included because a cached :class:`CostReport` carries
     the name, so two designs sharing one Verilog source must not collide.
+    ``verify`` accepts the historical booleans as well as the named
+    verification modes (``off``/``sampled``/``full``/``auto``); both forms
+    address the same entry.
     """
+    from repro.verify.differential import normalize_verify_mode
+
     payload = json.dumps(
         {
             "version": CACHE_FORMAT_VERSION,
@@ -70,7 +75,7 @@ def cache_key(
             "parameters": _canonical_parameters(parameters),
             "bitwidth": bitwidth,
             "cost_model": cost_model,
-            "verify": bool(verify),
+            "verify": normalize_verify_mode(verify),
         },
         sort_keys=True,
     )

@@ -47,6 +47,7 @@ from typing import (
 from repro.core.cache import ResultCache, cache_key
 from repro.core.cost import CostReport
 from repro.core.flows import design_source, frontend_artifacts, run_flow
+from repro.verify.differential import normalize_verify_mode
 
 __all__ = [
     "ConfigurationOutcome",
@@ -391,7 +392,11 @@ class ExplorationEngine:
         ``None`` to disable caching, a directory path, or a pre-built
         :class:`ResultCache`.  Cached results are content-addressed on the
         design source + flow + parameters + bitwidth + cost model + verify
-        flag, so a cached sweep re-runs zero flows.
+        mode, so a cached sweep re-runs zero flows.
+    verify:
+        A bool (historical) or one of the named verification modes
+        ``off`` / ``sampled`` / ``full`` / ``auto``; forwarded to every
+        flow's verify stage (see :mod:`repro.verify.differential`).
     timeout:
         Optional per-configuration wall-clock budget in seconds; a timed
         out configuration is recorded as a failed outcome.
@@ -409,7 +414,7 @@ class ExplorationEngine:
         self,
         jobs: int = 1,
         cache: Union[None, str, ResultCache] = None,
-        verify: bool = True,
+        verify: Union[bool, str] = True,
         cost_model: str = "rtof",
         timeout: Optional[float] = None,
         share_frontend: bool = True,
@@ -417,6 +422,9 @@ class ExplorationEngine:
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        # Reject unknown verification modes up front, not per task deep in
+        # a worker process.
+        normalize_verify_mode(verify)
         self.jobs = jobs
         if cache is None or isinstance(cache, ResultCache):
             self.cache = cache
@@ -757,7 +765,7 @@ class DesignSpaceExplorer:
         design: str,
         bitwidth: int,
         configurations: Optional[Sequence[FlowConfiguration]] = None,
-        verify: bool = True,
+        verify: Union[bool, str] = True,
         cost_model: str = "rtof",
         jobs: int = 1,
         cache_dir: Union[None, str, ResultCache] = None,

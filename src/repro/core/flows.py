@@ -31,7 +31,11 @@ from repro.reversible.embedding import optimum_embedding
 from repro.reversible.esop_synth import esop_synthesis
 from repro.reversible.hierarchical import hierarchical_synthesis
 from repro.reversible.symbolic_tbs import symbolic_tbs
-from repro.reversible.verification import verify_circuit
+from repro.verify.differential import (
+    AUTO_FULL_LIMIT,
+    check_equivalent,
+    normalize_verify_mode,
+)
 
 __all__ = [
     "available_flows",
@@ -119,22 +123,31 @@ def _stage_post_optimize(context: Dict[str, Any]) -> None:
 
 
 def _stage_verify(context: Dict[str, Any]) -> None:
-    """ABC ``cec`` analogue: exhaustively compare circuit and AIG."""
-    if not context.get("verify", True):
+    """ABC ``cec`` analogue: differentially compare circuit and AIG.
+
+    ``verify`` in the context is a bool (historical) or one of the named
+    modes ``off`` / ``sampled`` / ``full`` / ``auto``; the check itself is
+    the bit-parallel differential checker of :mod:`repro.verify`, which
+    simulates the bit-blasted AIG and the synthesised reversible circuit
+    on the same packed pattern batch.
+    """
+    mode = normalize_verify_mode(context.get("verify", True))
+    if mode == "off":
         context["verified"] = None
         return
     aig: Aig = context["aig"]
-    limit = context.get("verify_input_limit", 10)
-    if aig.num_pis() > limit:
-        samples = context.get("verify_samples", 256)
-    else:
-        samples = None
-    result = verify_circuit(
-        context["circuit"], aig.to_truth_table(), num_samples=samples
+    result = check_equivalent(
+        aig,
+        context["circuit"],
+        mode=mode,
+        num_samples=context.get("verify_samples", 256),
+        seed=context.get("verify_seed", 1),
+        auto_full_limit=context.get("verify_input_limit", AUTO_FULL_LIMIT),
     )
     if not result:
         raise RuntimeError(f"flow verification failed: {result.message}")
     context["verified"] = True
+    context["verify_complete"] = result.complete
 
 
 # -- symbolic functional flow -----------------------------------------------------
@@ -269,7 +282,7 @@ def run_flow(
     flow: str,
     design: Union[str, Aig],
     bitwidth: int,
-    verify: bool = True,
+    verify: Union[bool, str] = True,
     cost_model: str = "rtof",
     **parameters: Any,
 ) -> FlowResult:
@@ -277,8 +290,11 @@ def run_flow(
 
     ``design`` is ``"intdiv"``, ``"newton"``, or a pre-built
     :class:`~repro.logic.aig.Aig` (in which case ``bitwidth`` is only used
-    for reporting).  ``parameters`` are forwarded to the stages (``p``,
-    ``strategy``, ``lut_size``, ``bidirectional``, ``verilog``, ...).
+    for reporting).  ``verify`` is a bool or one of the named modes
+    ``off`` / ``sampled`` / ``full`` / ``auto`` (see
+    :mod:`repro.verify.differential`).  ``parameters`` are forwarded to the
+    stages (``p``, ``strategy``, ``lut_size``, ``bidirectional``,
+    ``verilog``, ``verify_samples``, ...).
     """
     if flow not in _FLOW_FACTORIES:
         raise ValueError(

@@ -4,17 +4,20 @@ The paper verifies every synthesised reversible circuit against the original
 design with ABC's equivalence checker.  We provide the same safety net:
 
 * exhaustive checking (complete) for designs with a moderate number of
-  inputs, via bit-parallel truth-table simulation,
+  inputs, via bit-parallel word-batch simulation,
 * random simulation (falsification only) for larger designs,
 * BDD-based checking as an orthogonal complete method for medium designs.
+
+The exhaustive and random methods are thin wrappers over the unified
+differential checker in :mod:`repro.verify.differential`, which simulates
+both AIGs on the same 64-patterns-per-word batch and reconstructs a
+concrete counterexample minterm on disagreement.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Optional
-
-import numpy as np
 
 from repro.logic.aig import Aig
 from repro.logic.collapse import collapse_to_bdd
@@ -36,7 +39,7 @@ class CecResult:
         return self.equivalent
 
 
-def _check_interfaces(a: Aig, b: Aig) -> None:
+def _check_interfaces(a, b) -> None:
     if a.num_pis() != b.num_pis():
         raise ValueError(
             f"input counts differ: {a.num_pis()} vs {b.num_pis()}"
@@ -61,17 +64,19 @@ def check_equivalence(
     random simulation otherwise), ``"exhaustive"``, ``"random"`` or
     ``"bdd"``.
     """
+    # Imported lazily: the verify package imports the logic-network types,
+    # so a module-level import here would be circular.
+    from repro.verify.differential import check_equivalent
+
     _check_interfaces(a, b)
     if method == "auto":
         method = "exhaustive" if a.num_pis() <= exhaustive_limit else "random"
 
     if method == "exhaustive":
-        table_a = a.to_truth_table()
-        table_b = b.to_truth_table()
-        if table_a == table_b:
-            return CecResult(True, True, None, "exhaustive")
-        diff = np.nonzero(table_a.words != table_b.words)[0]
-        return CecResult(False, True, int(diff[0]), "exhaustive")
+        result = check_equivalent(a, b, mode="full")
+        return CecResult(
+            result.equivalent, True, result.counterexample, "exhaustive"
+        )
 
     if method == "bdd":
         manager_a, roots_a = collapse_to_bdd(a)
@@ -84,24 +89,24 @@ def check_equivalence(
         return CecResult(True, True, None, "bdd")
 
     if method == "random":
-        outputs_a = a.simulate_random(num_random_patterns, seed=seed)
-        outputs_b = b.simulate_random(num_random_patterns, seed=seed)
-        for word_a, word_b in zip(outputs_a, outputs_b):
-            if word_a != word_b:
-                diff = word_a ^ word_b
-                pattern_index = (diff & -diff).bit_length() - 1
-                return CecResult(False, False, pattern_index, "random")
-        return CecResult(True, False, None, "random")
+        result = check_equivalent(
+            a, b, mode="sampled", num_samples=num_random_patterns, seed=seed
+        )
+        # A sample budget covering the whole input space upgrades the
+        # random method to a complete verdict (the differential checker
+        # degrades to the exhaustive batch instead of drawing duplicates).
+        return CecResult(
+            result.equivalent, result.complete, result.counterexample, "random"
+        )
 
     raise ValueError(f"unknown equivalence checking method {method!r}")
 
 
 def check_against_truth_table(aig: Aig, table: TruthTable) -> CecResult:
     """Exhaustively compare an AIG against an explicit truth table."""
+    from repro.verify.differential import check_equivalent
+
     if aig.num_pis() != table.num_inputs or aig.num_pos() != table.num_outputs:
         raise ValueError("interface mismatch between AIG and truth table")
-    aig_table = aig.to_truth_table()
-    if aig_table == table:
-        return CecResult(True, True, None, "exhaustive")
-    diff = np.nonzero(aig_table.words != table.words)[0]
-    return CecResult(False, True, int(diff[0]), "exhaustive")
+    result = check_equivalent(table, aig, mode="full")
+    return CecResult(result.equivalent, True, result.counterexample, "exhaustive")

@@ -6,6 +6,13 @@ original irreversible function.  Checking is exhaustive over the primary
 inputs (the bit-widths synthesised in this reproduction keep ``2**n``
 manageable); a sampling mode is available for quick checks of larger
 designs.
+
+The heavy lifting is done by the bit-parallel simulation core of
+:mod:`repro.verify.bitsim`: the circuit is evaluated on 64 input patterns
+per machine word, so the exhaustive check costs one sweep over the gate
+cascade per 64 minterms instead of one sweep per minterm.  This module is a
+thin wrapper that adds the circuit-boundary semantics (ancilla
+restoration) and the historical result type.
 """
 
 from __future__ import annotations
@@ -48,7 +55,15 @@ def verify_circuit(
     compared with the specification.  With ``check_clean_ancillas`` the
     constant lines must also return to their initial values (used for the
     Bennett-style flows that promise clean ancillas).
+
+    ``num_samples`` of ``None`` checks exhaustively; a sample budget of at
+    least ``2**n`` also degrades to the exhaustive check (no duplicate
+    draws) and reports ``complete=True``.
     """
+    # Imported lazily: repro.verify.bitsim itself imports the circuit
+    # types, so a module-level import here would be circular.
+    from repro.verify import bitsim
+
     if circuit.num_inputs() != spec.num_inputs:
         return VerificationResult(
             False, True, None, "circuit and specification input counts differ"
@@ -60,38 +75,45 @@ def verify_circuit(
 
     total = 1 << spec.num_inputs
     if num_samples is None or num_samples >= total:
-        inputs = range(total)
-        complete = True
+        batch = bitsim.exhaustive_batch(spec.num_inputs)
     else:
-        rng = np.random.default_rng(seed)
-        inputs = sorted(int(x) for x in rng.integers(0, total, size=num_samples))
-        complete = False
+        batch = bitsim.random_batch(spec.num_inputs, num_samples, seed=seed)
+    complete = batch.exhaustive
 
-    constant_lines = circuit.constant_lines()
-    for x in inputs:
-        state = circuit.final_state(x)
-        value = 0
-        for output_index, line in circuit.output_lines().items():
-            if (state >> line) & 1:
-                value |= 1 << output_index
-        if value != spec.evaluate(x):
-            return VerificationResult(
-                False,
-                complete,
-                x,
-                f"output mismatch on input {x}: got {value}, "
-                f"expected {spec.evaluate(x)}",
-            )
-        if check_clean_ancillas:
-            for line, init in constant_lines.items():
-                info = circuit.line_info(line)
-                if info.is_output() or info.garbage:
-                    continue
-                if (state >> line) & 1 != init:
-                    return VerificationResult(
-                        False,
-                        complete,
-                        x,
-                        f"ancilla line {line} not restored on input {x}",
-                    )
+    state = bitsim.simulate_reversible_states(circuit, batch)
+    outputs = bitsim.outputs_from_states(circuit, state)
+    expected = bitsim.simulate_truth_table(spec, batch)
+    index = bitsim.first_difference(outputs, expected, batch)
+    if index is not None:
+        x = batch.minterm(index)
+        got = bitsim.output_word_at(outputs, index)
+        return VerificationResult(
+            False,
+            complete,
+            x,
+            f"output mismatch on input {x}: got {got}, "
+            f"expected {bitsim.output_word_at(expected, index)}",
+        )
+
+    if check_clean_ancillas:
+        mask = batch.tail_mask()
+        all_ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+        for line, init in circuit.constant_lines().items():
+            info = circuit.line_info(line)
+            if info.is_output() or info.garbage:
+                continue
+            wanted = (mask & all_ones) if init else np.zeros_like(mask)
+            diff = state[line] ^ wanted
+            nonzero = np.nonzero(diff)[0]
+            if nonzero.size:
+                word = int(nonzero[0])
+                bits = int(diff[word])
+                bit = (bits & -bits).bit_length() - 1
+                x = batch.minterm(word * 64 + bit)
+                return VerificationResult(
+                    False,
+                    complete,
+                    x,
+                    f"ancilla line {line} not restored on input {x}",
+                )
     return VerificationResult(True, complete, None, "ok")

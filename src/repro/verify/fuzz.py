@@ -1,0 +1,178 @@
+"""Seeded structural fuzzers for the differential test layer.
+
+Every generator is a pure function of its seed, so a failing test prints a
+seed that reproduces the exact structure.  Three families cover the entry
+points of the reproduction:
+
+* :func:`random_truth_table` — explicit multi-output functions (the input of
+  the functional synthesis back-ends),
+* :func:`random_aig` / :func:`random_xmg` — multi-level logic networks (the
+  input of the flows and of the XMG-based hierarchical back-end),
+* :func:`random_hdl_design` — Verilog expression designs in the supported
+  subset (the input of the whole pipeline, front-end included).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.logic.aig import Aig
+from repro.logic.truth_table import TruthTable
+from repro.logic.xmg import Xmg
+
+__all__ = [
+    "random_aig",
+    "random_hdl_design",
+    "random_truth_table",
+    "random_xmg",
+]
+
+
+def random_truth_table(
+    seed: int, num_inputs: int = 3, num_outputs: int = 3
+) -> TruthTable:
+    """A uniformly random multi-output truth table."""
+    rng = np.random.default_rng(seed)
+    words = rng.integers(0, 1 << num_outputs, size=1 << num_inputs).astype(
+        np.uint64
+    )
+    return TruthTable(num_inputs, num_outputs, words)
+
+
+def random_aig(
+    seed: int,
+    num_pis: int = 4,
+    num_gates: int = 12,
+    num_pos: int = 3,
+) -> Aig:
+    """A random structurally-hashed AIG built from AND/OR/XOR/MUX steps.
+
+    Outputs are drawn from the most recently created literals (biased
+    towards deep nodes) so the network rarely collapses to a constant.
+    """
+    rng = np.random.default_rng(seed)
+    aig = Aig(f"fuzz_aig_{seed}")
+    literals: List[int] = [aig.add_pi() for _ in range(num_pis)]
+    for _ in range(num_gates):
+        choice = int(rng.integers(0, 4))
+        picks = [
+            int(literals[int(rng.integers(0, len(literals)))]) ^ int(rng.integers(0, 2))
+            for _ in range(3)
+        ]
+        if choice == 0:
+            literals.append(aig.create_and(picks[0], picks[1]))
+        elif choice == 1:
+            literals.append(aig.create_or(picks[0], picks[1]))
+        elif choice == 2:
+            literals.append(aig.create_xor(picks[0], picks[1]))
+        else:
+            literals.append(aig.create_mux(picks[0], picks[1], picks[2]))
+    for index in range(num_pos):
+        # Prefer recent (deep) literals, fall back towards the inputs.
+        offset = int(rng.integers(1, min(len(literals), num_gates + 1) + 1))
+        lit = int(literals[-offset]) ^ int(rng.integers(0, 2))
+        aig.add_po(lit, f"f{index}")
+    return aig
+
+
+def random_xmg(
+    seed: int,
+    num_pis: int = 4,
+    num_gates: int = 10,
+    num_pos: int = 2,
+) -> Xmg:
+    """A random XOR-majority graph (MAJ/XOR/AND steps, random polarities)."""
+    rng = np.random.default_rng(seed)
+    xmg = Xmg(f"fuzz_xmg_{seed}")
+    literals: List[int] = [xmg.add_pi() for _ in range(num_pis)]
+    for _ in range(num_gates):
+        choice = int(rng.integers(0, 3))
+        picks = [
+            int(literals[int(rng.integers(0, len(literals)))]) ^ int(rng.integers(0, 2))
+            for _ in range(3)
+        ]
+        if choice == 0:
+            literals.append(xmg.create_maj(picks[0], picks[1], picks[2]))
+        elif choice == 1:
+            literals.append(xmg.create_xor(picks[0], picks[1]))
+        else:
+            literals.append(xmg.create_and(picks[0], picks[2]))
+    for index in range(num_pos):
+        offset = int(rng.integers(1, min(len(literals), num_gates + 1) + 1))
+        lit = int(literals[-offset]) ^ int(rng.integers(0, 2))
+        xmg.add_po(lit, f"f{index}")
+    return xmg
+
+
+#: Binary operators usable in generated designs.  Division and modulo are
+#: excluded: their divide-by-zero convention is front-end-defined and would
+#: make the fuzz corpus exercise the convention rather than the synthesis.
+_HDL_BINARY_OPS = ("+", "-", "*", "&", "|", "^", "&", "|", "^")
+_HDL_COMPARE_OPS = ("==", "!=", "<", ">=")
+
+
+def random_hdl_design(
+    seed: int,
+    width: int = 3,
+    num_inputs: int = 2,
+    num_wires: int = 5,
+    name: Optional[str] = None,
+) -> str:
+    """Verilog source of a random combinational expression design.
+
+    The module has ``num_inputs`` inputs of ``width`` bits, one ``width``-bit
+    output, and a chain of ``num_wires`` intermediate wires combining earlier
+    signals with arithmetic/bitwise/shift/ternary operators from the
+    supported subset.  The same seed always produces the same source.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    if num_inputs < 1:
+        raise ValueError("num_inputs must be positive")
+    rng = np.random.default_rng(seed)
+    module = name or f"fuzz{seed}"
+    inputs = [chr(ord("a") + i) for i in range(num_inputs)]
+    signals = list(inputs)
+
+    def operand() -> str:
+        if rng.integers(0, 8) == 0:
+            return f"{width}'d{int(rng.integers(0, 1 << width))}"
+        text = signals[int(rng.integers(0, len(signals)))]
+        if rng.integers(0, 4) == 0:
+            text = f"(~{text})"
+        return text
+
+    lines = []
+    for index in range(num_wires):
+        wire = f"t{index}"
+        kind = int(rng.integers(0, 4))
+        if kind == 0:
+            op = _HDL_BINARY_OPS[int(rng.integers(0, len(_HDL_BINARY_OPS)))]
+            expr = f"{operand()} {op} {operand()}"
+        elif kind == 1:
+            op = "<<" if rng.integers(0, 2) == 0 else ">>"
+            expr = f"{operand()} {op} {int(rng.integers(0, width))}"
+        elif kind == 2:
+            cmp_op = _HDL_COMPARE_OPS[int(rng.integers(0, len(_HDL_COMPARE_OPS)))]
+            expr = (
+                f"({operand()} {cmp_op} {operand()}) ? {operand()} : {operand()}"
+            )
+        else:
+            expr = f"{operand()} + ({operand()} ^ {operand()})"
+        lines.append(f"    wire [{width - 1}:0] {wire} = {expr};")
+        signals.append(wire)
+
+    port_list = ",\n".join(
+        [f"    input  [{width - 1}:0] {text}" for text in inputs]
+        + [f"    output [{width - 1}:0] y"]
+    )
+    body = "\n".join(lines)
+    return (
+        f"// random expression design (seed {seed})\n"
+        f"module {module} (\n{port_list}\n);\n"
+        f"{body}\n"
+        f"    assign y = {signals[-1]};\n"
+        f"endmodule\n"
+    )

@@ -87,3 +87,48 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Pareto front" in output
         assert "symbolic" in output
+
+    def test_explore_verify_mode_flag(self, capsys):
+        exit_code = main(
+            ["explore", "--design", "intdiv", "-n", "3",
+             "--sweep", "esop:p=0", "--verify", "full", "--quiet"]
+        )
+        assert exit_code == 0
+        assert "esop(p=0)" in capsys.readouterr().out
+
+    def test_explore_rejects_unknown_verify_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["explore", "--design", "intdiv", "--verify", "sometimes"]
+            )
+
+    def test_verify_command_all_flows(self, capsys):
+        exit_code = main(["verify", "--design", "intdiv", "-n", "3", "--mode", "full"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Differential verification of intdiv(3)" in output
+        assert "aig = circuit" in output
+        for flow in ("symbolic", "esop", "hierarchical"):
+            assert flow in output
+        assert "FAIL" not in output
+
+    def test_verify_command_quantum_leg(self, capsys):
+        exit_code = main(
+            ["verify", "--design", "intdiv", "-n", "3",
+             "--flows", "esop", "--quantum", "--samples", "4"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "circuit = clifford+t" in output
+
+    def test_verify_command_with_verilog_file(self, tmp_path, capsys):
+        source = tmp_path / "buffer.v"
+        source.write_text(
+            "module buffer (input [2:0] a, output [2:0] y); assign y = a; endmodule\n"
+        )
+        exit_code = main(
+            ["verify", "--design", "buffer", "-n", "3",
+             "--verilog", str(source), "--flows", "esop"]
+        )
+        assert exit_code == 0
+        assert "buffer.v(3)" in capsys.readouterr().out

@@ -1,0 +1,69 @@
+"""Golden regression table for the paper's named designs.
+
+Pins the (qubits, T-count) results of every flow configuration on the
+reciprocal designs at small bit-widths.  The flows are deterministic, so
+any change to these numbers is a *semantic* change to a synthesis
+algorithm — intentional improvements must update this table explicitly in
+the same commit, and accidental drift fails loudly.
+
+Runtime is excluded on purpose (it is the one non-deterministic metric,
+cf. ``CostReport.metrics``).
+"""
+
+import pytest
+
+from repro.core.flows import run_flow
+
+#: (design, bitwidth, flow, parameters) -> (qubits, T-count under "rtof").
+GOLDEN_COSTS = [
+    ("intdiv", 3, "symbolic", {}, 5, 290),
+    ("intdiv", 3, "esop", {"p": 0}, 6, 36),
+    ("intdiv", 3, "esop", {"p": 1}, 6, 36),
+    ("intdiv", 3, "hierarchical", {"strategy": "bennett"}, 51, 532),
+    ("intdiv", 3, "hierarchical", {"strategy": "per_output"}, 51, 868),
+    ("intdiv", 4, "symbolic", {}, 7, 2959),
+    ("intdiv", 4, "esop", {"p": 0}, 8, 142),
+    ("intdiv", 4, "esop", {"p": 1}, 12, 120),
+    ("intdiv", 4, "hierarchical", {"strategy": "bennett"}, 115, 1190),
+    ("intdiv", 4, "hierarchical", {"strategy": "per_output"}, 115, 2688),
+    ("intdiv", 5, "symbolic", {}, 9, 25264),
+    ("intdiv", 5, "esop", {"p": 0}, 10, 336),
+    ("intdiv", 5, "esop", {"p": 1}, 15, 248),
+    ("intdiv", 5, "hierarchical", {"strategy": "bennett"}, 188, 1960),
+    ("intdiv", 5, "hierarchical", {"strategy": "per_output"}, 188, 5432),
+    ("newton", 2, "symbolic", {}, 3, 28),
+    ("newton", 2, "esop", {"p": 0}, 4, 7),
+    ("newton", 2, "esop", {"p": 1}, 4, 7),
+    ("newton", 2, "hierarchical", {"strategy": "bennett"}, 5, 14),
+    ("newton", 2, "hierarchical", {"strategy": "per_output"}, 5, 14),
+    ("newton", 3, "symbolic", {}, 5, 282),
+    ("newton", 3, "esop", {"p": 0}, 6, 44),
+    ("newton", 3, "esop", {"p": 1}, 7, 43),
+    ("newton", 3, "hierarchical", {"strategy": "bennett"}, 635, 6370),
+    ("newton", 3, "hierarchical", {"strategy": "per_output"}, 608, 17346),
+]
+
+
+def _label(case):
+    design, bitwidth, flow, parameters, _, _ = case
+    params = ",".join(f"{k}={v}" for k, v in parameters.items())
+    return f"{design}({bitwidth})/{flow}" + (f"[{params}]" if params else "")
+
+
+@pytest.mark.parametrize("case", GOLDEN_COSTS, ids=_label)
+def test_golden_cost(case):
+    design, bitwidth, flow, parameters, qubits, t_count = case
+    result = run_flow(flow, design, bitwidth, verify="full", **parameters)
+    assert result.report.verified is True
+    assert (result.report.qubits, result.report.t_count) == (qubits, t_count), (
+        f"{_label(case)} drifted to "
+        f"({result.report.qubits}, {result.report.t_count})"
+    )
+
+
+def test_golden_table_covers_every_flow_configuration():
+    configurations = {
+        (flow, tuple(sorted(parameters.items())))
+        for _, _, flow, parameters, _, _ in GOLDEN_COSTS
+    }
+    assert len(configurations) == 5  # the paper's five configurations

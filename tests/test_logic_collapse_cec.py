@@ -108,9 +108,20 @@ class TestCec:
         lits = [wrong.add_pi(name) for name in a.pi_names()]
         wrong.add_po(Aig.CONST1, "lt")
         wrong.add_po(Aig.CONST0, "eq")
-        result = check_equivalence(a, wrong, method="random")
+        result = check_equivalence(
+            a, wrong, method="random", num_random_patterns=16
+        )
         assert not result.equivalent
         assert not result.complete
+
+    def test_random_method_upgrades_to_complete_on_small_spaces(self):
+        # A sample budget >= 2**n degrades to the exhaustive batch, so the
+        # verdict is complete even though the caller asked for "random".
+        a = build_comparator(2)
+        b = build_comparator(2)
+        result = check_equivalence(a, b, method="random")
+        assert result.equivalent
+        assert result.complete
 
     def test_unknown_method(self):
         a = build_comparator(2)

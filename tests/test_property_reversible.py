@@ -11,6 +11,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.flows import run_flow
 from repro.logic.esop import esop_from_columns, minimize_esop
 from repro.logic.truth_table import TruthTable
 from repro.logic.xmg import Xmg
@@ -23,6 +24,8 @@ from repro.reversible.optimize import optimize_circuit
 from repro.reversible.symbolic_tbs import symbolic_tbs
 from repro.reversible.tbs import synthesize_permutation_gates
 from repro.reversible.verification import verify_circuit
+from repro.verify.differential import check_equivalent
+from repro.verify.fuzz import random_aig, random_xmg
 
 
 def random_table(seed, num_inputs=3, num_outputs=3):
@@ -137,3 +140,62 @@ class TestHierarchicalProperties:
         # Bennett: every MAJ node is computed and uncomputed -> exactly two
         # Toffoli gates per (reachable) majority node, XORs are free.
         assert circuit.t_count() == 2 * xmg.num_maj() * 7
+
+
+class TestDifferentialFlowProperties:
+    """End-to-end flow invariants checked with the differential engine.
+
+    Unlike the per-back-end properties above, these run the *flows* of
+    :mod:`repro.core.flows` (optimisation scripts included) on fuzzed
+    networks and cross-check layers with ``repro.verify``.
+    """
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_symbolic_flow_differentially_verified(self, seed):
+        aig = random_aig(seed, num_pis=3, num_gates=8, num_pos=2)
+        result = run_flow("symbolic", aig, 3, verify=False)
+        check = check_equivalent(aig, result.circuit, mode="full")
+        assert check.equivalent, check.message
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_esop_flow_differentially_verified(self, seed):
+        aig = random_aig(seed, num_pis=4, num_gates=10, num_pos=3)
+        result = run_flow("esop", aig, 4, verify=False, p=seed % 3)
+        check = check_equivalent(aig, result.circuit, mode="full")
+        assert check.equivalent, check.message
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_hierarchical_flow_differentially_verified(self, seed):
+        aig = random_aig(seed, num_pis=4, num_gates=10, num_pos=2)
+        strategy = "bennett" if seed % 2 == 0 else "per_output"
+        result = run_flow("hierarchical", aig, 4, verify=False, strategy=strategy)
+        check = check_equivalent(aig, result.circuit, mode="full")
+        assert check.equivalent, check.message
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_xmg_mapping_preserves_function(self, seed):
+        # The XMG layer itself (input of the hierarchical back-end) must
+        # match its source network under the differential checker.
+        from repro.logic.xmg_mapping import aig_to_xmg
+
+        aig = random_aig(seed, num_pis=4, num_gates=12, num_pos=3)
+        xmg = aig_to_xmg(aig, k=3 + seed % 2)
+        check = check_equivalent(aig, xmg, mode="full")
+        assert check.equivalent, check.message
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_sampled_and_full_modes_agree_on_flows(self, seed):
+        # A sampled check must never contradict the complete verdict.
+        xmg = random_xmg(seed, num_pis=4, num_gates=8, num_pos=2)
+        circuit = hierarchical_synthesis(xmg, strategy="bennett")
+        full = check_equivalent(xmg, circuit, mode="full")
+        sampled = check_equivalent(
+            xmg, circuit, mode="sampled", num_samples=8, seed=seed
+        )
+        assert full.equivalent, full.message
+        assert sampled.equivalent, sampled.message

@@ -1,0 +1,130 @@
+"""Focused coverage for quantum/mapping.py negative-control wrappers and
+quantum/tcount.py model variants (satellite of the verify subsystem PR).
+"""
+
+import pytest
+
+from repro.quantum.mapping import map_to_clifford_t
+from repro.quantum.statevector import simulate_basis_state
+from repro.quantum.tcount import (
+    available_models,
+    circuit_t_count,
+    mct_t_count,
+    t_count_histogram,
+)
+from repro.reversible.circuit import ReversibleCircuit
+from repro.reversible.gates import ToffoliGate
+
+
+def _wrap_gate(gate: ToffoliGate, num_lines: int) -> ReversibleCircuit:
+    circuit = ReversibleCircuit("wrap")
+    for i in range(num_lines):
+        circuit.add_input_line(i)
+        circuit.set_output(i, i)
+    circuit.append(gate)
+    return circuit
+
+
+class TestNegativeControlWrappers:
+    @pytest.mark.parametrize("polarities", [(True,), (False,)])
+    def test_cnot_polarity_wrappers(self, polarities):
+        gate = ToffoliGate(((0, polarities[0]),), 1)
+        circuit = _wrap_gate(gate, 2)
+        quantum = map_to_clifford_t(circuit)
+        for x in range(4):
+            expected = gate.apply(x)
+            assert simulate_basis_state(quantum, x) == expected
+        # Negative controls cost only Clifford X wrappers, never T gates.
+        assert quantum.t_count() == 0
+
+    @pytest.mark.parametrize(
+        "polarities",
+        [(True, True), (True, False), (False, True), (False, False)],
+    )
+    def test_toffoli_polarity_combinations(self, polarities):
+        gate = ToffoliGate(((0, polarities[0]), (1, polarities[1])), 2)
+        circuit = _wrap_gate(gate, 3)
+        quantum = map_to_clifford_t(circuit)
+        for x in range(8):
+            assert simulate_basis_state(quantum, x) == gate.apply(x)
+        assert quantum.t_count() == 7
+
+    def test_wrapper_x_gates_come_in_pairs(self):
+        gate = ToffoliGate(((0, False), (1, False)), 2)
+        circuit = _wrap_gate(gate, 3)
+        counts = map_to_clifford_t(circuit).gate_counts()
+        # Two negative controls -> two X before + two X after.
+        assert counts["x"] == 4
+
+    @pytest.mark.parametrize("num_controls", [3, 4])
+    def test_mixed_polarity_large_gates(self, num_controls):
+        polarities = tuple(
+            (line, line % 2 == 0) for line in range(num_controls)
+        )
+        gate = ToffoliGate(polarities, num_controls)
+        circuit = _wrap_gate(gate, num_controls + 1)
+        quantum = map_to_clifford_t(circuit)
+        # Clean-ancilla chain: k - 2 shared ancillas appended.
+        assert quantum.num_qubits == circuit.num_lines() + num_controls - 2
+        for x in range(1 << (num_controls + 1)):
+            assert simulate_basis_state(quantum, x) == gate.apply(x)
+
+    def test_negative_controls_free_in_both_models(self):
+        positive = ToffoliGate(((0, True), (1, True), (2, True)), 3)
+        negative = ToffoliGate(((0, False), (1, False), (2, False)), 3)
+        for model in available_models():
+            a = circuit_t_count(_wrap_gate(positive, 4), model=model)
+            b = circuit_t_count(_wrap_gate(negative, 4), model=model)
+            assert a == b
+
+
+class TestTcountModels:
+    def test_available_models_exposes_both(self):
+        models = tuple(available_models())
+        assert "barenco" in models
+        assert "rtof" in models
+
+    @pytest.mark.parametrize("model", ["barenco", "rtof"])
+    def test_small_gates_are_free(self, model):
+        assert mct_t_count(0, model) == 0
+        assert mct_t_count(1, model) == 0
+        assert mct_t_count(2, model) == 7
+
+    @pytest.mark.parametrize("model", ["barenco", "rtof"])
+    def test_monotone_in_control_count(self, model):
+        counts = [mct_t_count(k, model) for k in range(12)]
+        assert counts == sorted(counts)
+        # Strictly increasing once gates stop being free.
+        for k in range(2, 11):
+            assert counts[k + 1] > counts[k]
+
+    @pytest.mark.parametrize("k", range(3, 10))
+    def test_rtof_strictly_cheaper_above_two_controls(self, k):
+        assert mct_t_count(k, "rtof") < mct_t_count(k, "barenco")
+
+    @pytest.mark.parametrize("model", ["barenco", "rtof"])
+    def test_closed_forms(self, model):
+        for k in range(3, 8):
+            if model == "barenco":
+                assert mct_t_count(k, model) == 7 * (2 * k - 3)
+            else:
+                assert mct_t_count(k, model) == 8 * (k - 2) + 7
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            mct_t_count(3, "maslov2020")
+        with pytest.raises(ValueError):
+            mct_t_count(-1)
+
+    def test_histogram_sums_to_circuit_t_count(self):
+        circuit = ReversibleCircuit("hist")
+        for i in range(5):
+            circuit.add_input_line(i)
+        circuit.append(ToffoliGate.x(0))
+        circuit.append(ToffoliGate.cnot(0, 1))
+        circuit.append(ToffoliGate.toffoli(0, 1, 2))
+        circuit.append(ToffoliGate.from_lines([0, 1, 2], [3], 4))
+        for model in available_models():
+            histogram = t_count_histogram(circuit, model=model)
+            assert sum(histogram.values()) == circuit_t_count(circuit, model=model)
+        assert circuit_t_count(circuit, model="rtof") == 7 + (8 * 2 + 7)
