@@ -1,0 +1,82 @@
+"""Pebbling-strategy benchmark: the qubit/T-count tradeoff curve.
+
+The point of the LUT-based flow is that the pebbling strategy (and the
+``bounded`` strategy's pebble budget) turns qubit count against T-count on
+one design.  This bench regenerates that curve for ``INTDIV(8)``: the
+Bennett schedule (max qubits, min T), the eager per-output schedule, and
+the bounded scheduler at three budgets.  The acceptance gates mirror the
+subsystem's contract:
+
+* every ``bounded(B)`` run respects its pebble budget,
+* the strategies yield at least three distinct Pareto points on the
+  (qubits, T-count) plane.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.core.explorer import pareto_front_of
+from repro.core.flows import run_flow
+from repro.utils.tables import format_table
+
+BITWIDTH = 8
+
+#: label -> lut flow parameters.
+CONFIGURATIONS = [
+    ("bennett", {"strategy": "bennett"}),
+    ("eager", {"strategy": "eager"}),
+    ("bounded(0.25)", {"strategy": "bounded", "max_pebbles": 0.25}),
+    ("bounded(0.5)", {"strategy": "bounded", "max_pebbles": 0.5}),
+    ("bounded(0.75)", {"strategy": "bounded", "max_pebbles": 0.75}),
+]
+
+
+def test_pebbling_tradeoff_curve(benchmark):
+    reports = {}
+    rows = []
+    for label, parameters in CONFIGURATIONS:
+        result = run_flow(
+            "lut", "intdiv", BITWIDTH, verify=False, **parameters
+        )
+        report = result.report
+        reports[label] = report
+        extra = report.extra
+        if parameters["strategy"] == "bounded":
+            schedule = result.context["schedule"]
+            assert extra["pebble_peak"] <= schedule.max_pebbles, (
+                f"{label}: peak {extra['pebble_peak']} exceeds budget "
+                f"{schedule.max_pebbles}"
+            )
+        rows.append(
+            (
+                label,
+                report.qubits,
+                report.t_count,
+                extra["pebble_peak"],
+                extra["recomputes"],
+                f"{report.runtime_seconds:.2f}",
+            )
+        )
+
+    front = pareto_front_of(reports)
+    text = format_table(
+        ["strategy", "qubits", "T-count", "pebble peak", "recomputes", "runtime [s]"],
+        rows,
+        title=f"LUT pebbling strategies on INTDIV({BITWIDTH}), k = 4",
+    )
+    text += "\n\nPareto front: " + ", ".join(
+        f"{p.configuration} ({p.qubits} qubits, {p.t_count} T)" for p in front
+    )
+    write_result("pebbling_tradeoff", text)
+
+    # The acceptance gate: the strategy sweep genuinely explores the
+    # qubit/T-count plane instead of collapsing onto one point.
+    assert len(front) >= 3, f"only {len(front)} Pareto points: {front}"
+
+    benchmark.pedantic(
+        run_flow,
+        args=("lut", "intdiv", BITWIDTH),
+        kwargs={"verify": False, "strategy": "bennett"},
+        rounds=3,
+        iterations=1,
+    )

@@ -57,6 +57,7 @@ from repro.core.flows import (
     esop_flow,
     frontend_artifacts,
     hierarchical_flow,
+    lut_flow,
     run_flow,
     symbolic_flow,
 )
@@ -86,6 +87,7 @@ __all__ = [
     "frontend_artifacts",
     "hierarchical_flow",
     "intdiv_verilog",
+    "lut_flow",
     "mapped_circuit_simulator",
     "newton_verilog",
     "pareto_front_of",

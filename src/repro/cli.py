@@ -4,7 +4,10 @@ Examples::
 
     python -m repro flow --flow esop --design intdiv -n 8 -p 0
     python -m repro flow --flow hierarchical --verilog adder.v -n 8 --real out.real
+    python -m repro flow --flow lut --design intdiv -n 8 -k 4 \
+        --strategy bounded --max-pebbles 64            # LUT pebbling flow
     python -m repro explore --design intdiv -n 6
+    python -m repro explore --flow lut --design intdiv -n 8   # strategy sweep
     python -m repro explore --design intdiv -n 8 --verify sampled
     python -m repro verify --design intdiv -n 4 --mode full --quantum
     python -m repro explore --designs intdiv newton --bitwidths 4 5 6 \
@@ -32,6 +35,7 @@ from repro.core.explorer import (
     ParameterGrid,
     build_sweep,
     default_configurations,
+    flow_default_configurations,
     pareto_front_of,
 )
 from repro.core.flows import available_flows, design_source, run_flow
@@ -111,13 +115,35 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--verilog", type=Path, help="path to a Verilog file to synthesise")
     flow.add_argument("-n", "--bitwidth", type=int, default=8)
     flow.add_argument("-p", "--factoring", type=int, default=0, help="ESOP factoring parameter")
-    flow.add_argument("--strategy", default="bennett", help="hierarchical cleanup strategy")
+    flow.add_argument(
+        "--strategy", default="bennett",
+        help="cleanup/pebbling strategy (hierarchical: bennett/per_output; "
+        "lut: bennett/eager/bounded)",
+    )
+    flow.add_argument(
+        "-k", "--lut-size", type=int, default=4,
+        help="LUT size of the lut flow (default: 4)",
+    )
+    flow.add_argument(
+        "--max-pebbles", type=float, metavar="B",
+        help="pebble budget of the lut flow's bounded strategy: an integer "
+        "number of pebbles, or a fraction in (0, 1) of the LUT count",
+    )
+    flow.add_argument(
+        "--lut-synth", choices=["esop", "tbs"], default="esop",
+        help="per-LUT sub-synthesizer of the lut flow (default: esop)",
+    )
     flow.add_argument("--no-verify", action="store_true", help="skip equivalence checking")
     flow.add_argument("--cost-model", default="rtof", choices=["rtof", "barenco"])
     flow.add_argument("--real", type=Path, help="write the reversible circuit as RevLib .real")
     flow.add_argument("--qasm", type=Path, help="map to Clifford+T and write OpenQASM 2.0")
 
     explore = subparsers.add_parser("explore", help="design space exploration")
+    explore.add_argument(
+        "--flow", choices=sorted(available_flows()),
+        help="sweep only this flow's default configurations (e.g. the "
+        "pebbling strategies of the lut flow); --sweep overrides",
+    )
     explore.add_argument("--design", default="intdiv")
     explore.add_argument(
         "--designs", nargs="+", metavar="DESIGN",
@@ -215,17 +241,37 @@ def _command_flow(args: argparse.Namespace) -> int:
         parameters["p"] = args.factoring
     if args.flow == "hierarchical":
         parameters["strategy"] = args.strategy
+    if args.flow == "lut":
+        parameters["strategy"] = args.strategy
+        parameters["k"] = args.lut_size
+        parameters["lut_synth"] = args.lut_synth
+        if args.max_pebbles is not None:
+            budget = args.max_pebbles
+            if not 0 < budget < 1 and budget != int(budget):
+                print(
+                    f"error: --max-pebbles must be an integer pebble count "
+                    f"or a fraction in (0, 1), got {budget}",
+                    file=sys.stderr,
+                )
+                return 2
+            parameters["max_pebbles"] = budget if 0 < budget < 1 else int(budget)
     if args.verilog is not None:
         parameters["verilog"] = args.verilog.read_text()
 
-    result = run_flow(
-        args.flow,
-        args.design,
-        args.bitwidth,
-        verify=not args.no_verify,
-        cost_model=args.cost_model,
-        **parameters,
-    )
+    try:
+        result = run_flow(
+            args.flow,
+            args.design,
+            args.bitwidth,
+            verify=not args.no_verify,
+            cost_model=args.cost_model,
+            **parameters,
+        )
+    except ValueError as exc:
+        # Bad user input (unknown strategy, infeasible pebble budget, ...):
+        # report it like the explore command does instead of a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     report = result.report
     rows = [
         ("design", report.design),
@@ -256,6 +302,8 @@ def _command_explore(args: argparse.Namespace) -> int:
     try:
         if args.sweep:
             configurations = [parse_sweep_spec(spec) for spec in args.sweep]
+        elif args.flow is not None:
+            configurations = flow_default_configurations(args.flow)
         else:
             configurations = default_configurations()
     except ValueError as exc:

@@ -32,8 +32,10 @@ from repro.core.cost import CostReport
 __all__ = ["ResultCache", "cache_key"]
 
 #: Bump to invalidate all existing cache entries when the meaning of a
-#: report (or of a flow) changes incompatibly.
-CACHE_FORMAT_VERSION = 2
+#: report (or of a flow) changes incompatibly.  Version 3: the
+#: hierarchical ``per_output`` strategy reuses freed ancillas for output
+#: lines (lower qubit counts), and the ``lut`` flow joined the registry.
+CACHE_FORMAT_VERSION = 3
 
 
 def _canonical_parameters(parameters: Any) -> Any:

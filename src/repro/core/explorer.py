@@ -59,6 +59,7 @@ __all__ = [
     "ParetoPoint",
     "build_sweep",
     "default_configurations",
+    "flow_default_configurations",
     "pareto_front_of",
 ]
 
@@ -100,6 +101,40 @@ def default_configurations() -> List[FlowConfiguration]:
         FlowConfiguration("hierarchical", (("strategy", "bennett"),)),
         FlowConfiguration("hierarchical", (("strategy", "per_output"),)),
     ]
+
+
+#: Default per-flow sweeps (the CLI's ``explore --flow`` argument).  The
+#: ``lut`` entries sweep the pebbling strategies; the ``bounded`` budgets
+#: are fractions of the LUT count so one sweep fits designs of any size.
+_FLOW_DEFAULT_CONFIGURATIONS: Dict[str, List[FlowConfiguration]] = {
+    "symbolic": [FlowConfiguration("symbolic")],
+    "esop": [
+        FlowConfiguration("esop", (("p", 0),)),
+        FlowConfiguration("esop", (("p", 1),)),
+    ],
+    "hierarchical": [
+        FlowConfiguration("hierarchical", (("strategy", "bennett"),)),
+        FlowConfiguration("hierarchical", (("strategy", "per_output"),)),
+    ],
+    "lut": [
+        FlowConfiguration("lut", (("strategy", "bennett"),)),
+        FlowConfiguration("lut", (("strategy", "eager"),)),
+        FlowConfiguration("lut", (("strategy", "bounded"), ("max_pebbles", 0.25))),
+        FlowConfiguration("lut", (("strategy", "bounded"), ("max_pebbles", 0.5))),
+        FlowConfiguration("lut", (("strategy", "bounded"), ("max_pebbles", 0.75))),
+    ],
+}
+
+
+def flow_default_configurations(flow: str) -> List[FlowConfiguration]:
+    """The default sweep of one flow (qubits-vs-T-count curve per strategy)."""
+    try:
+        return list(_FLOW_DEFAULT_CONFIGURATIONS[flow])
+    except KeyError:
+        raise ValueError(
+            f"unknown flow {flow!r}; available: "
+            f"{', '.join(sorted(_FLOW_DEFAULT_CONFIGURATIONS))}"
+        ) from None
 
 
 def pareto_front_of(reports: Dict[str, CostReport]) -> List[ParetoPoint]:

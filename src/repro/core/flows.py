@@ -1,4 +1,4 @@
-"""The three design flows of Fig. 1.
+"""The design flows of Fig. 1, plus the LUT-granular pebbling flow.
 
 Every flow starts from a Verilog description (the generated ``INTDIV(n)`` /
 ``NEWTON(n)`` designs or user-provided source), performs classical logic
@@ -10,7 +10,12 @@ synthesis and hands the result to one of the reversible synthesis back-ends:
   exorcism-style minimisation, REVS-style ESOP synthesis with the factoring
   parameter ``p`` (Table III),
 * :func:`hierarchical_flow` — repeated ``resyn2`` analogue, ``xmglut``-style
-  XMG mapping, hierarchical synthesis (Table IV).
+  XMG mapping, hierarchical synthesis (Table IV),
+* :func:`lut_flow`          — k-LUT covering of the optimised AIG, a
+  reversible pebble game scheduled over the LUT DAG (``strategy`` one of
+  ``bennett`` / ``eager`` / ``bounded`` with a ``max_pebbles`` qubit
+  budget), and per-LUT ESOP/TBS synthesis of each schedule step (the
+  paper's LUT-based hierarchical synthesis).
 
 All flows optionally verify the produced circuit against the bit-blasted
 design (ABC ``cec`` analogue) and report qubits, T-count and runtime.
@@ -43,6 +48,7 @@ __all__ = [
     "esop_flow",
     "frontend_artifacts",
     "hierarchical_flow",
+    "lut_flow",
     "run_flow",
     "symbolic_flow",
 ]
@@ -266,15 +272,90 @@ def hierarchical_flow(cost_model: str = "rtof", optimization_rounds: int = 2) ->
     )
 
 
+# -- LUT-based hierarchical flow (pebbling) ------------------------------------------
+
+
+def _stage_lut_map(context: Dict[str, Any]) -> None:
+    from repro.logic.cuts import lut_map
+
+    mapping = lut_map(
+        context["aig"],
+        k=context.get("k", 4),
+        max_cuts=context.get("max_cuts", 8),
+        selection=context.get("cut_selection", "area"),
+    )
+    context["lut_mapping"] = mapping
+    context["extra_metrics"] = {
+        **context.get("extra_metrics", {}),
+        "num_luts": mapping.num_luts(),
+        "lut_depth": mapping.depth(),
+    }
+
+
+def _stage_pebble(context: Dict[str, Any]) -> None:
+    from repro.reversible.pebbling import make_schedule
+
+    schedule = make_schedule(
+        context["lut_mapping"],
+        strategy=context.get("strategy", "bennett"),
+        max_pebbles=context.get("max_pebbles"),
+    )
+    stats = schedule.stats()  # cached from make_schedule's validation
+    context["schedule"] = schedule
+    context["extra_metrics"] = {
+        **context.get("extra_metrics", {}),
+        "pebble_peak": stats.pebble_peak,
+        "schedule_steps": stats.num_steps,
+        "recomputes": schedule.num_recomputes(),
+    }
+
+
+def _stage_lut_synthesis(context: Dict[str, Any]) -> None:
+    from repro.reversible.lut_synth import synthesize_schedule
+
+    context["circuit"] = synthesize_schedule(
+        context["schedule"],
+        name=f"{context['design']}_{context['bitwidth']}_lut",
+        lut_synth=context.get("lut_synth", "esop"),
+        validate=False,  # the pebble stage already validated
+    )
+
+
+def lut_flow(cost_model: str = "rtof", optimization_rounds: int = 2) -> Flow:
+    """The LUT-based hierarchical flow with a reversible pebbling scheduler.
+
+    Parameters consumed from the flow context: ``k`` (LUT size, default 4),
+    ``max_cuts`` (priority-cut bound), ``cut_selection`` (``area`` —
+    default — or ``depth``), ``strategy`` (``bennett`` / ``eager`` /
+    ``bounded``), ``max_pebbles`` (pebble budget of the bounded strategy;
+    an int, or a float in ``(0, 1)`` as a fraction of the LUT count) and
+    ``lut_synth`` (per-LUT sub-synthesizer, ``esop`` or ``tbs``).
+    """
+    return Flow(
+        "lut",
+        [
+            FlowStage("frontend", _stage_frontend, provides=("aig",)),
+            _make_optimize_stage("resyn2", optimization_rounds),
+            FlowStage("lut-map", _stage_lut_map),
+            FlowStage("pebble", _stage_pebble),
+            FlowStage("lut-synthesis", _stage_lut_synthesis),
+            FlowStage("post-optimize", _stage_post_optimize),
+            FlowStage("verify", _stage_verify),
+        ],
+        cost_model=cost_model,
+    )
+
+
 _FLOW_FACTORIES = {
     "symbolic": symbolic_flow,
     "esop": esop_flow,
     "hierarchical": hierarchical_flow,
+    "lut": lut_flow,
 }
 
 
 def available_flows() -> List[str]:
-    """Names of the flows of Fig. 1."""
+    """Names of the registered flows (Fig. 1 plus the ``lut`` flow)."""
     return list(_FLOW_FACTORIES)
 
 
@@ -293,8 +374,8 @@ def run_flow(
     for reporting).  ``verify`` is a bool or one of the named modes
     ``off`` / ``sampled`` / ``full`` / ``auto`` (see
     :mod:`repro.verify.differential`).  ``parameters`` are forwarded to the
-    stages (``p``, ``strategy``, ``lut_size``, ``bidirectional``,
-    ``verilog``, ``verify_samples``, ...).
+    stages (``p``, ``strategy``, ``lut_size``, ``k``, ``max_pebbles``,
+    ``lut_synth``, ``bidirectional``, ``verilog``, ``verify_samples``, ...).
     """
     if flow not in _FLOW_FACTORIES:
         raise ValueError(

@@ -6,7 +6,11 @@ LUT function is then resynthesised into XOR/majority primitives.
 
 The implementation follows the standard *priority cuts* scheme: every node
 keeps at most ``max_cuts`` cuts of at most ``k`` leaves, obtained by merging
-the cut sets of its fanins, plus the trivial cut ``{node}``.
+the cut sets of its fanins, plus the trivial cut ``{node}``.  Dominated
+cuts — cuts whose leaf set is a strict superset of another cut's leaves at
+the same node — are filtered out before the priority truncation: they can
+never lead to a better cover and would otherwise crowd useful cuts out of
+the bounded priority list.
 """
 
 from __future__ import annotations
@@ -17,7 +21,14 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.logic.aig import Aig, lit_is_compl, lit_node
 from repro.logic.truth_table import tt_mask, tt_var
 
-__all__ = ["Cut", "enumerate_cuts", "cut_truth_table", "LutMapping", "lut_map"]
+__all__ = [
+    "Cut",
+    "enumerate_cuts",
+    "cut_truth_table",
+    "filter_dominated_cuts",
+    "LutMapping",
+    "lut_map",
+]
 
 
 @dataclass(frozen=True)
@@ -32,25 +43,71 @@ class Cut:
         return len(self.leaves)
 
 
+def filter_dominated_cuts(cuts: Sequence[Cut]) -> List[Cut]:
+    """Remove dominated cuts, preserving the input order.
+
+    A cut is *dominated* when another cut of the same node has a strict
+    subset of its leaves: every cover using the dominated cut could use the
+    dominating one instead, with the same or fewer dependencies.  Identical
+    leaf sets are kept once (the first occurrence wins).
+    """
+    kept: List[Cut] = []
+    kept_leaves: List[Set[int]] = []
+    for cut in cuts:
+        leaves = set(cut.leaves)
+        if any(other <= leaves for other in kept_leaves):
+            continue
+        # A later cut never dominates an earlier one under the (size, ...)
+        # priority order, but the helper must not rely on its input being
+        # sorted — drop any earlier cut this one dominates.
+        survivors = [
+            (kept_cut, kept_set)
+            for kept_cut, kept_set in zip(kept, kept_leaves)
+            if not leaves < kept_set
+        ]
+        kept = [cut_ for cut_, _ in survivors] + [cut]
+        kept_leaves = [set_ for _, set_ in survivors] + [leaves]
+    return kept
+
+
 def enumerate_cuts(
-    aig: Aig, k: int = 4, max_cuts: int = 8
+    aig: Aig, k: int = 4, max_cuts: int = 8, selection: str = "depth"
 ) -> Dict[int, List[Cut]]:
     """Enumerate up to ``max_cuts`` k-feasible cuts for every node.
 
     Returns a mapping from node index to its cut list.  The first cut of
-    every node is its *best* cut under a (size, estimated depth) order; the
-    trivial cut is always included last.
+    every node is its *best* cut under the ``selection`` policy; the
+    trivial cut is always included last.  Dominated cuts (leaf supersets of
+    another cut at the same node) are filtered before the priority
+    truncation.
+
+    ``selection`` orders each node's priority list:
+
+    * ``"depth"`` (default) — by (size, estimated depth): small shallow
+      cuts first, the historical order the XMG mapping builds on,
+    * ``"area"``  — by *area flow*: the estimated number of LUTs a cover
+      through the cut instantiates (``1 +`` the best-cut areas of its
+      leaves), so the best cut genuinely minimises LUT count and the LUT
+      size ``k`` becomes an area knob.
     """
     if k < 2:
         raise ValueError("cut size must be at least 2")
+    if selection not in ("depth", "area"):
+        raise ValueError(
+            f"unknown cut selection policy {selection!r}; "
+            "expected 'depth' or 'area'"
+        )
     cuts: Dict[int, List[Cut]] = {0: [Cut(0, ())]}
     levels = aig.levels()
+    # Area flow of the best cut of every processed node (PIs cost nothing).
+    best_area: Dict[int, int] = {0: 0}
 
     for node in aig.nodes():
         if node == 0:
             continue
         if aig.is_pi(node):
             cuts[node] = [Cut(node, (node,))]
+            best_area[node] = 0
             continue
         f0, f1 = aig.fanins(node)
         n0, n1 = lit_node(f0), lit_node(f1)
@@ -61,18 +118,34 @@ def enumerate_cuts(
                 if len(leaves) <= k:
                     merged.add(leaves)
         candidates = [Cut(node, leaves) for leaves in merged]
-        candidates.sort(
-            key=lambda cut: (
-                cut.size(),
-                max((levels[leaf] for leaf in cut.leaves), default=0),
-                cut.leaves,
+        if selection == "area":
+            candidates.sort(
+                key=lambda cut: (
+                    1 + sum(best_area[leaf] for leaf in cut.leaves),
+                    cut.size(),
+                    max((levels[leaf] for leaf in cut.leaves), default=0),
+                    cut.leaves,
+                )
             )
-        )
-        selected = candidates[:max_cuts]
+        else:
+            candidates.sort(
+                key=lambda cut: (
+                    cut.size(),
+                    max((levels[leaf] for leaf in cut.leaves), default=0),
+                    cut.leaves,
+                )
+            )
+        selected = filter_dominated_cuts(candidates)[:max_cuts]
         trivial = Cut(node, (node,))
         if trivial not in selected:
             selected.append(trivial)
         cuts[node] = selected
+        best = selected[0]
+        best_area[node] = (
+            1 + sum(best_area[leaf] for leaf in best.leaves)
+            if best.leaves != (node,)
+            else 1
+        )
     return cuts
 
 
@@ -80,6 +153,10 @@ def cut_truth_table(aig: Aig, cut: Cut) -> int:
     """Integer truth table of the cut root expressed over its leaves.
 
     Leaf ``i`` of the cut corresponds to variable ``i`` of the truth table.
+    The cone is walked with an explicit stack: a cut whose leaves sit right
+    at the primary inputs (as the area-flow mapper likes to choose on
+    reconvergent logic) can span a cone deeper than the Python recursion
+    limit.
     """
     num_vars = len(cut.leaves)
     mask = tt_mask(num_vars)
@@ -87,27 +164,32 @@ def cut_truth_table(aig: Aig, cut: Cut) -> int:
     for i, leaf in enumerate(cut.leaves):
         tables[leaf] = tt_var(i, num_vars)
 
-    def lit_table(lit: int) -> int:
-        table = compute(lit_node(lit))
-        if lit_is_compl(lit):
-            table ^= mask
-        return table
-
-    def compute(node: int) -> int:
-        cached = tables.get(node)
-        if cached is not None:
-            return cached
+    stack = [cut.root]
+    while stack:
+        node = stack[-1]
+        if node in tables:
+            stack.pop()
+            continue
         if not aig.is_and(node):
             raise ValueError(
                 f"node {node} is not inside the cone of cut {cut}: "
                 "cut leaves do not form a proper cut"
             )
         f0, f1 = aig.fanins(node)
-        result = lit_table(f0) & lit_table(f1)
-        tables[node] = result
-        return result
+        pending = [
+            fanin
+            for fanin in (lit_node(f0), lit_node(f1))
+            if fanin not in tables
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        table0 = tables[lit_node(f0)] ^ (mask if lit_is_compl(f0) else 0)
+        table1 = tables[lit_node(f1)] ^ (mask if lit_is_compl(f1) else 0)
+        tables[node] = table0 & table1
+        stack.pop()
 
-    return compute(cut.root)
+    return tables[cut.root]
 
 
 @dataclass
@@ -129,22 +211,87 @@ class LutMapping:
         """Number of LUTs in the cover."""
         return len(self.luts)
 
+    def dependencies(self, root: int) -> Tuple[int, ...]:
+        """Leaves of ``root``'s LUT that are themselves LUT roots.
 
-def lut_map(aig: Aig, k: int = 4, max_cuts: int = 8) -> LutMapping:
-    """Cover the AIG with k-input LUTs (area-oriented greedy covering).
+        Primary-input leaves carry their value on a circuit line at all
+        times, so they never constrain a pebbling schedule; the returned
+        tuple is exactly the set of LUTs whose values must be available
+        (pebbled) for ``root`` to be computed or uncomputed.
+        """
+        leaves, _ = self.luts[root]
+        return tuple(leaf for leaf in leaves if leaf in self.luts)
 
-    Every node first receives a *best cut* (the first cut of its priority
-    list); the cover is then chosen by walking backwards from the primary
-    outputs and instantiating the best cut of every required node.
+    def lut_cone(self, root: int) -> List[int]:
+        """LUT roots in the transitive fanin of ``root`` (inclusive).
+
+        Returned in topological order (node indices are topological in the
+        underlying AIG).  ``root`` may be a primary input or the constant
+        node, in which case the cone is empty.
+        """
+        if root not in self.luts:
+            return []
+        seen: Set[int] = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.dependencies(node))
+        return sorted(seen)
+
+    def lut_levels(self) -> Dict[int, int]:
+        """Logic level of every LUT in the LUT DAG (leaf LUTs at level 0)."""
+        levels: Dict[int, int] = {}
+        for root in self.order:
+            deps = self.dependencies(root)
+            levels[root] = 1 + max((levels[d] for d in deps), default=-1)
+        return levels
+
+    def lut_fanout_counts(self) -> Dict[int, int]:
+        """Number of LUT DAG consumers of every LUT (POs count as consumers)."""
+        counts: Dict[int, int] = {root: 0 for root in self.luts}
+        for root in self.order:
+            for dep in self.dependencies(root):
+                counts[dep] += 1
+        for po in self.aig.pos():
+            node = lit_node(po)
+            if node in counts:
+                counts[node] += 1
+        return counts
+
+    def depth(self) -> int:
+        """Number of LUT levels on the longest path to any output."""
+        levels = self.lut_levels()
+        return 1 + max(levels.values()) if levels else 0
+
+
+def lut_map(
+    aig: Aig, k: int = 4, max_cuts: int = 8, selection: str = "depth"
+) -> LutMapping:
+    """Cover the AIG with k-input LUTs (greedy covering from the outputs).
+
+    Every node first receives a *best cut* of its priority list; the cover
+    is then chosen by walking backwards from the primary outputs and
+    instantiating the best cut of every required node.  ``selection`` picks
+    the best-cut policy:
+
+    * ``"depth"`` (default) — small shallow cuts; many small LUTs, the
+      historical behaviour the XMG mapping builds on,
+    * ``"area"`` — area-flow ordering (see :func:`enumerate_cuts`): the
+      cover instantiates the fewest LUTs the priority lists allow, which is
+      what makes the LUT size ``k`` an actual area knob for the LUT-based
+      pebbling flow.
     """
     aig = aig.cleanup()
-    cuts = enumerate_cuts(aig, k=k, max_cuts=max_cuts)
+    cuts = enumerate_cuts(aig, k=k, max_cuts=max_cuts, selection=selection)
 
     best_cut: Dict[int, Cut] = {}
     for node in aig.nodes():
         if aig.is_and(node):
-            # Prefer non-trivial cuts; the enumeration sorts by size which
-            # would otherwise select the trivial single-leaf cut.
+            # Prefer non-trivial cuts; the enumeration could otherwise
+            # select the trivial single-leaf cut.
             node_cuts = [c for c in cuts[node] if c.leaves != (node,)]
             best_cut[node] = node_cuts[0] if node_cuts else cuts[node][0]
 

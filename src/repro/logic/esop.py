@@ -36,6 +36,7 @@ __all__ = [
     "esop_from_truth_table",
     "esop_from_columns",
     "minimize_esop",
+    "psdkro_cubes",
 ]
 
 
@@ -188,6 +189,19 @@ class _PsdkroExtractor:
         result = list(free_cover)
         result += [cube.with_literal(var, positive) for cube in gated_cover]
         return result
+
+
+def psdkro_cubes(truth: int, num_vars: int) -> List[Cube]:
+    """PSDKRO cube list of one single-output integer truth table.
+
+    The shared primitive behind the multi-output extraction below and the
+    per-LUT synthesis blocks of :mod:`repro.reversible.lut_synth` — the
+    pebbling scheduler's gate-count estimate counts exactly these cubes, so
+    both must come from the one extractor.
+    """
+    from repro.logic.truth_table import tt_mask
+
+    return _PsdkroExtractor(num_vars).extract(truth & tt_mask(num_vars))
 
 
 def esop_from_columns(columns: Sequence[int], num_inputs: int) -> EsopCover:

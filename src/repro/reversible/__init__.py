@@ -13,11 +13,16 @@ design flows:
   sub-expression factoring (the REVS flow, parameter ``p``),
 * :mod:`repro.reversible.hierarchical` — hierarchical synthesis from XMGs
   with Bennett or eager ancilla cleanup,
+* :mod:`repro.reversible.pebbling` / :mod:`repro.reversible.lut_synth` —
+  LUT-granular hierarchical synthesis: reversible pebbling schedules over
+  a k-LUT cover (Bennett / eager / budget-bounded strategies, with a
+  machine-checked schedule validator) and their execution via per-LUT
+  ESOP/TBS blocks (the ``lut`` flow),
 * :mod:`repro.reversible.verification` — equivalence of a synthesised
   circuit against the original irreversible specification.
 """
 
-from repro.reversible.circuit import LineInfo, ReversibleCircuit
+from repro.reversible.circuit import LineInfo, LinePool, ReversibleCircuit
 from repro.reversible.embedding import (
     EmbeddedFunction,
     bennett_embedding,
@@ -27,21 +32,45 @@ from repro.reversible.embedding import (
 from repro.reversible.esop_synth import esop_synthesis
 from repro.reversible.gates import ToffoliGate
 from repro.reversible.hierarchical import hierarchical_synthesis
+from repro.reversible.lut_synth import lut_synthesis, synthesize_schedule
+from repro.reversible.pebbling import (
+    InvalidScheduleError,
+    PebbleSchedule,
+    PebbleStep,
+    bennett_schedule,
+    bounded_schedule,
+    eager_schedule,
+    make_schedule,
+    minimum_pebbles,
+    validate_schedule,
+)
 from repro.reversible.tbs import transformation_based_synthesis
 from repro.reversible.symbolic_tbs import symbolic_tbs
 from repro.reversible.verification import verify_circuit
 
 __all__ = [
     "EmbeddedFunction",
+    "InvalidScheduleError",
     "LineInfo",
+    "LinePool",
+    "PebbleSchedule",
+    "PebbleStep",
     "ReversibleCircuit",
     "ToffoliGate",
     "bennett_embedding",
+    "bennett_schedule",
+    "bounded_schedule",
+    "eager_schedule",
     "esop_synthesis",
     "hierarchical_synthesis",
+    "lut_synthesis",
+    "make_schedule",
     "minimum_additional_lines",
+    "minimum_pebbles",
     "optimum_embedding",
     "symbolic_tbs",
+    "synthesize_schedule",
     "transformation_based_synthesis",
+    "validate_schedule",
     "verify_circuit",
 ]

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.reversible.gates import ToffoliGate
 
-__all__ = ["LineInfo", "ReversibleCircuit"]
+__all__ = ["LineInfo", "LinePool", "ReversibleCircuit"]
 
 
 @dataclass(frozen=True)
@@ -94,6 +94,11 @@ class ReversibleCircuit:
         self._lines[line] = replace(
             self._lines[line], output_index=output_index, garbage=False
         )
+
+    def set_line_name(self, line: int, name: str) -> None:
+        """Rename a line (e.g. a reused ancilla promoted to an output)."""
+        self._check_line(line)
+        self._lines[line] = replace(self._lines[line], name=name)
 
     def set_garbage(self, line: int) -> None:
         """Mark ``line`` as garbage."""
@@ -288,3 +293,36 @@ class ReversibleCircuit:
             f"ReversibleCircuit(name={self.name!r}, lines={self.num_lines()}, "
             f"gates={self.num_gates()})"
         )
+
+
+@dataclass
+class LinePool:
+    """Allocator for zero-initialised ancilla lines with optional reuse.
+
+    The shared invariant of every synthesis back-end that recycles lines:
+    only a line whose value has returned to zero may be ``release``d, so a
+    subsequent ``acquire`` can hand it out as a fresh ancilla (or as a
+    primary-output target).  With ``reuse`` disabled the pool degenerates
+    to plain allocation, which keeps line ordering stable for strategies
+    that never free anything.
+    """
+
+    circuit: ReversibleCircuit
+    reuse: bool = True
+    free_lines: List[int] = field(default_factory=list)
+
+    def acquire(self, name: Optional[str] = None) -> int:
+        """A zeroed line: a reused freed line if available, else a new one."""
+        if self.reuse and self.free_lines:
+            line = self.free_lines.pop()
+            if name is not None:
+                self.circuit.set_line_name(line, name)
+            return line
+        return self.circuit.add_constant_line(
+            0, name=name or f"anc{self.circuit.num_lines()}"
+        )
+
+    def release(self, line: int) -> None:
+        """Return a line (which must hold zero again) to the pool."""
+        if self.reuse:
+            self.free_lines.append(line)

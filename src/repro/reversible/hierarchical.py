@@ -20,39 +20,21 @@ reported in Table IV.  Two ancilla management strategies are provided
   output cone at a time, reusing the freed ancilla lines for the next
   output.  This trades additional gates (logic shared between outputs is
   recomputed) for a smaller number of qubits.  ``"eager"`` is accepted as an
-  alias.
+  alias.  Copy targets are drawn from the same pool as the cone ancillas:
+  an output claimed after an earlier cone has been uncomputed reuses one of
+  its zeroed lines, so a trivial output (a bare primary input or constant
+  literal) never allocates a fresh qubit once freed lines exist.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.logic.xmg import Xmg, lit_is_compl, lit_node
-from repro.reversible.circuit import ReversibleCircuit
+from repro.reversible.circuit import LinePool, ReversibleCircuit
 from repro.reversible.gates import ToffoliGate
 
 __all__ = ["hierarchical_synthesis"]
-
-
-@dataclass
-class _LinePool:
-    """Allocator for ancilla lines with optional reuse of freed lines."""
-
-    circuit: ReversibleCircuit
-    reuse: bool
-    free_lines: List[int] = field(default_factory=list)
-
-    def acquire(self) -> int:
-        if self.reuse and self.free_lines:
-            return self.free_lines.pop()
-        return self.circuit.add_constant_line(
-            0, name=f"anc{self.circuit.num_lines()}"
-        )
-
-    def release(self, line: int) -> None:
-        if self.reuse:
-            self.free_lines.append(line)
 
 
 class _Compiler:
@@ -64,7 +46,7 @@ class _Compiler:
         self.xmg = xmg
         self.strategy = strategy
         self.circuit = ReversibleCircuit(name)
-        self.pool = _LinePool(self.circuit, reuse=(strategy == "per_output"))
+        self.pool = LinePool(self.circuit, reuse=(strategy == "per_output"))
         self.node_line: Dict[int, int] = {}
         self.node_block: Dict[int, List[ToffoliGate]] = {}
 
@@ -181,18 +163,28 @@ class _Compiler:
                 stack.append(lit_node(lit))
         return sorted(seen)
 
+    def _claim_output_line(self, output_index: int) -> int:
+        """Claim a line for a primary output from the ancilla pool.
+
+        A freed (zeroed) ancilla of an earlier cone is reused when one is
+        available; the line is renamed and never returned to the pool.
+        """
+        line = self.pool.acquire(name=self.xmg.po_names()[output_index])
+        self.circuit.set_output(line, output_index)
+        return line
+
     def run(self) -> ReversibleCircuit:
         xmg = self.xmg
         for i, name in enumerate(xmg.pi_names()):
             line = self.circuit.add_input_line(i, name=name)
             self.node_line[lit_node(xmg.pis()[i])] = line
-        output_lines: List[int] = []
-        for j, name in enumerate(xmg.po_names()):
-            line = self.circuit.add_constant_line(0, name=name)
-            self.circuit.set_output(line, j)
-            output_lines.append(line)
 
         if self.strategy == "bennett":
+            # No line is ever freed before the copies, so the output lines
+            # can be allocated upfront (stable line order for reports).
+            output_lines = [
+                self._claim_output_line(j) for j in range(len(xmg.pos()))
+            ]
             order = xmg.gate_nodes()
             for node in order:
                 self._compute_node(node)
@@ -205,7 +197,12 @@ class _Compiler:
                 cone = self._cone_nodes(lit_node(po))
                 for node in cone:
                     self._compute_node(node)
-                self._copy_output(j, po, output_lines[j])
+                # Claim the copy target only now: after the previous cone
+                # was uncomputed the pool holds zeroed lines, so trivial
+                # outputs (bare primary inputs / constant literals) and
+                # small cones reuse them instead of fresh ancillas.
+                target = self._claim_output_line(j)
+                self._copy_output(j, po, target)
                 for node in reversed(cone):
                     self._uncompute_node(node)
 

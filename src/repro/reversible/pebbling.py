@@ -1,0 +1,585 @@
+"""Reversible pebbling schedules over a LUT DAG (the LUT-based flow).
+
+The LUT-based hierarchical flow of the paper covers the optimised AIG with
+k-input LUTs and then plays a *reversible pebble game* on the LUT DAG: a
+pebble on a LUT means its value is currently held on an ancilla line.  A
+pebble may be placed (the LUT is *computed*) or removed (the LUT is
+*uncomputed*, returning its ancilla to zero) only while all of its fanin
+LUTs carry pebbles, because both directions re-apply the same gate block
+reading the fanin lines.  Primary outputs are *copied* off a pebbled LUT
+onto dedicated output lines.  The number of pebbles in play bounds the
+number of live ancillas — i.e. the qubit count — while recomputation adds
+gates; scheduling the game therefore trades qubits against T-count.
+
+This module provides the schedule IR and three scheduling strategies:
+
+* :func:`bennett_schedule`  — compute every LUT once, copy all outputs,
+  uncompute in reverse; pebble peak equals the number of LUTs, gate count
+  is minimal (every LUT is computed exactly twice).
+* :func:`eager_schedule`    — compute, copy and immediately uncompute one
+  output cone at a time (the REVS-style eager cleanup); pebble peak equals
+  the largest single-output cone, logic shared between outputs is
+  recomputed per output.
+* :func:`bounded_schedule`  — a budgeted heuristic: pebbles are kept around
+  for reuse across outputs, and when the budget ``max_pebbles`` is reached
+  parent-free pebbles are evicted (their LUTs uncomputed) and recomputed
+  later if needed.  This interpolates between the two extremes.
+
+Every schedule is machine-checkable: :func:`validate_schedule` replays the
+pebble game and raises :class:`InvalidScheduleError` on the first step
+whose preconditions do not hold, on a budget violation, or when ancillas
+are left dirty at the end.  The executor
+(:mod:`repro.reversible.lut_synth`) validates before synthesising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.logic.aig import lit_node
+from repro.logic.cuts import LutMapping
+
+__all__ = [
+    "COMPUTE",
+    "COPY",
+    "InvalidScheduleError",
+    "PEBBLING_STRATEGIES",
+    "PebbleSchedule",
+    "PebbleStep",
+    "ScheduleStats",
+    "UNCOMPUTE",
+    "bennett_schedule",
+    "bounded_schedule",
+    "eager_schedule",
+    "make_schedule",
+    "minimum_pebbles",
+    "validate_schedule",
+]
+
+#: Step opcodes.
+COMPUTE = "compute"
+UNCOMPUTE = "uncompute"
+COPY = "copy"
+
+#: The scheduling strategies accepted by :func:`make_schedule` (and by the
+#: ``lut`` flow's ``strategy`` parameter).  ``"per_output"`` is accepted as
+#: an alias of ``"eager"``, mirroring :mod:`repro.reversible.hierarchical`.
+PEBBLING_STRATEGIES = ("bennett", "eager", "bounded")
+
+
+class InvalidScheduleError(ValueError):
+    """A pebble schedule violated the pebble-game rules."""
+
+
+@dataclass(frozen=True)
+class PebbleStep:
+    """One move of the pebble game.
+
+    ``op`` is :data:`COMPUTE`, :data:`UNCOMPUTE` or :data:`COPY`.  ``node``
+    is the LUT root being (un)pebbled, or the AIG node driving the copied
+    output.  ``output`` is the primary-output index for :data:`COPY` steps
+    and ``None`` otherwise.
+    """
+
+    op: str
+    node: int
+    output: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.op == COPY:
+            return f"copy(po{self.output} <- n{self.node})"
+        return f"{self.op}(n{self.node})"
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """Replay statistics of a valid schedule."""
+
+    pebble_peak: int
+    num_computes: int
+    num_uncomputes: int
+    num_copies: int
+
+    @property
+    def num_steps(self) -> int:
+        return self.num_computes + self.num_uncomputes + self.num_copies
+
+
+@dataclass
+class PebbleSchedule:
+    """A pebbling schedule bound to the LUT mapping it plays on."""
+
+    mapping: LutMapping
+    steps: List[PebbleStep] = field(default_factory=list)
+    strategy: str = "custom"
+    max_pebbles: Optional[int] = None
+    #: Cached replay statistics; filled by :meth:`stats`.  Mutating
+    #: :attr:`steps` after validation invalidates the cache — build a new
+    #: schedule instead.
+    _stats: Optional[ScheduleStats] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def compute_steps(self) -> List[PebbleStep]:
+        """The compute steps in schedule order."""
+        return [step for step in self.steps if step.op == COMPUTE]
+
+    def uncompute_steps(self) -> List[PebbleStep]:
+        """The uncompute steps in schedule order."""
+        return [step for step in self.steps if step.op == UNCOMPUTE]
+
+    def stats(self) -> ScheduleStats:
+        """Validate the schedule and return the (cached) replay statistics."""
+        if self._stats is None:
+            self._stats = validate_schedule(self)
+        return self._stats
+
+    def pebble_peak(self) -> int:
+        """Largest number of simultaneously pebbled LUTs (replays the game)."""
+        return self.stats().pebble_peak
+
+    def num_recomputes(self) -> int:
+        """Compute steps beyond the first per LUT (the recomputation cost)."""
+        return len(self.compute_steps()) - len(
+            {step.node for step in self.steps if step.op == COMPUTE}
+        )
+
+
+def validate_schedule(schedule: PebbleSchedule) -> ScheduleStats:
+    """Replay a schedule and check every pebble-game rule.
+
+    Raises :class:`InvalidScheduleError` when a step computes an unknown or
+    already-pebbled LUT, (un)computes a LUT whose fanin LUTs are not all
+    pebbled, copies an output whose driver is not pebbled, copies an output
+    twice, exceeds the declared ``max_pebbles`` budget, misses an output,
+    or leaves pebbles (dirty ancillas) at the end.  Returns the replay
+    statistics on success.
+    """
+    mapping = schedule.mapping
+    pebbled: Set[int] = set()
+    copied: Set[int] = set()
+    pos = mapping.aig.pos()
+    peak = 0
+    computes = uncomputes = copies = 0
+
+    def _require_fanins(step: PebbleStep) -> None:
+        missing = [d for d in mapping.dependencies(step.node) if d not in pebbled]
+        if missing:
+            raise InvalidScheduleError(
+                f"step {step} requires pebbles on fanin LUTs {missing}"
+            )
+
+    for index, step in enumerate(schedule.steps):
+        if step.op == COMPUTE:
+            if step.node not in mapping.luts:
+                raise InvalidScheduleError(f"step {index}: {step.node} is not a LUT root")
+            if step.node in pebbled:
+                raise InvalidScheduleError(f"step {index}: {step} is already pebbled")
+            _require_fanins(step)
+            pebbled.add(step.node)
+            peak = max(peak, len(pebbled))
+            computes += 1
+            if schedule.max_pebbles is not None and len(pebbled) > schedule.max_pebbles:
+                raise InvalidScheduleError(
+                    f"step {index}: {len(pebbled)} pebbles exceed the declared "
+                    f"budget of {schedule.max_pebbles}"
+                )
+        elif step.op == UNCOMPUTE:
+            if step.node not in pebbled:
+                raise InvalidScheduleError(f"step {index}: {step} is not pebbled")
+            _require_fanins(step)
+            pebbled.discard(step.node)
+            uncomputes += 1
+        elif step.op == COPY:
+            if step.output is None or not 0 <= step.output < len(pos):
+                raise InvalidScheduleError(
+                    f"step {index}: {step} names no valid primary output"
+                )
+            if step.output in copied:
+                raise InvalidScheduleError(
+                    f"step {index}: output {step.output} copied twice"
+                )
+            driver = lit_node(pos[step.output])
+            if step.node != driver:
+                raise InvalidScheduleError(
+                    f"step {index}: {step} does not match the output driver "
+                    f"node {driver}"
+                )
+            if driver in mapping.luts and driver not in pebbled:
+                raise InvalidScheduleError(
+                    f"step {index}: output {step.output} copied while its "
+                    f"driver LUT {driver} is unpebbled"
+                )
+            copied.add(step.output)
+            copies += 1
+        else:
+            raise InvalidScheduleError(f"step {index}: unknown op {step.op!r}")
+
+    if pebbled:
+        raise InvalidScheduleError(
+            f"{len(pebbled)} ancillas left dirty at the end of the schedule: "
+            f"{sorted(pebbled)}"
+        )
+    missing_outputs = sorted(set(range(len(pos))) - copied)
+    if missing_outputs:
+        raise InvalidScheduleError(f"outputs never copied: {missing_outputs}")
+    return ScheduleStats(peak, computes, uncomputes, copies)
+
+
+def _copy_step(mapping: LutMapping, output: int) -> PebbleStep:
+    return PebbleStep(COPY, lit_node(mapping.aig.pos()[output]), output)
+
+
+# -- strategies ---------------------------------------------------------------
+
+
+def bennett_schedule(mapping: LutMapping) -> PebbleSchedule:
+    """Compute every LUT, copy all outputs, uncompute everything in reverse."""
+    steps = [PebbleStep(COMPUTE, root) for root in mapping.order]
+    steps += [_copy_step(mapping, j) for j in range(mapping.aig.num_pos())]
+    steps += [PebbleStep(UNCOMPUTE, root) for root in reversed(mapping.order)]
+    return PebbleSchedule(mapping, steps, strategy="bennett")
+
+
+def eager_schedule(mapping: LutMapping) -> PebbleSchedule:
+    """Per-output cleanup: compute, copy and uncompute one cone at a time."""
+    steps: List[PebbleStep] = []
+    for j, po in enumerate(mapping.aig.pos()):
+        cone = mapping.lut_cone(lit_node(po))
+        steps += [PebbleStep(COMPUTE, root) for root in cone]
+        steps.append(_copy_step(mapping, j))
+        steps += [PebbleStep(UNCOMPUTE, root) for root in reversed(cone)]
+    return PebbleSchedule(mapping, steps, strategy="eager")
+
+
+class _BoundedScheduler:
+    """Budgeted pebbling: shared pebbles with recompute-on-demand eviction.
+
+    The scheduler keeps every computed LUT pebbled (so logic shared between
+    outputs is reused, like the Bennett strategy) until the pebble budget
+    is reached; it then evicts pebbles whose fanin LUTs are all currently
+    pebbled — the pebble-game precondition for uncomputing — and recomputes
+    them on demand if they are needed again.  A pebble whose fanins were
+    evicted underneath it (an *orphan*) is not evictable immediately, but
+    its value remains correct, and the final cleanup re-pebbles fanins
+    before uncomputing.  Pins protect the fanins of the LUT currently being
+    (un)computed from eviction; a budget that cannot accommodate the pinned
+    recursion path is infeasible and raises :class:`ValueError`.
+    """
+
+    def __init__(self, mapping: LutMapping, max_pebbles: int):
+        if max_pebbles < 1:
+            raise ValueError("max_pebbles must be at least 1")
+        self.mapping = mapping
+        self.budget = max_pebbles
+        self.steps: List[PebbleStep] = []
+        self.live: Set[int] = set()
+        self.pins: Dict[int, int] = {}
+        # Descending-cone-size recursion order: computing the largest
+        # sub-cone first holds the fewest sibling pins while the deepest
+        # recursion is in flight.
+        self._cone_size = {
+            root: len(mapping.lut_cone(root)) for root in mapping.order
+        }
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _pin(self, node: int) -> None:
+        self.pins[node] = self.pins.get(node, 0) + 1
+
+    def _unpin(self, node: int) -> None:
+        self.pins[node] -= 1
+        if not self.pins[node]:
+            del self.pins[node]
+
+    def _ordered_deps(self, node: int) -> List[int]:
+        return sorted(
+            self.mapping.dependencies(node),
+            key=lambda dep: (-self._cone_size[dep], dep),
+        )
+
+    # -- the game -------------------------------------------------------------
+
+    def _evictable(self, node: int) -> bool:
+        return node not in self.pins and all(
+            dep in self.live for dep in self.mapping.dependencies(node)
+        )
+
+    def _make_room(self) -> None:
+        while len(self.live) >= self.budget:
+            candidates = [node for node in self.live if self._evictable(node)]
+            if not candidates:
+                raise ValueError(
+                    f"max_pebbles={self.budget} is too small for this LUT "
+                    f"DAG: {len(self.live)} pebbles are pinned or orphaned"
+                )
+            # Evict the highest-index (deepest) candidate: it is the
+            # furthest from the inputs and therefore the least likely to be
+            # needed as a fanin of upcoming computations.
+            victim = max(candidates)
+            self.steps.append(PebbleStep(UNCOMPUTE, victim))
+            self.live.discard(victim)
+
+    def _ensure(self, root: int) -> None:
+        """Place a pebble on ``root``, recomputing evicted fanins on demand.
+
+        An explicit DFS stack (not recursion): LUT dependency chains grow
+        with the design depth, and a deep chain must not overflow the
+        Python recursion limit.  Each frame pins the fanins it has secured
+        so far; a fanin is pinned when its own frame completes.
+        """
+        if root in self.live:
+            return
+        # frame: [node, iterator over remaining deps, deps pinned so far]
+        stack = [[root, iter(self._ordered_deps(root)), []]]
+        while stack:
+            node, deps, pinned = stack[-1]
+            for dep in deps:
+                if dep in self.live:
+                    self._pin(dep)
+                    pinned.append(dep)
+                    continue
+                stack.append([dep, iter(self._ordered_deps(dep)), []])
+                break
+            else:
+                self._make_room()
+                self.steps.append(PebbleStep(COMPUTE, node))
+                self.live.add(node)
+                for dep in pinned:
+                    self._unpin(dep)
+                stack.pop()
+                if stack:
+                    self._pin(node)
+                    stack[-1][2].append(node)
+
+    def _release(self, node: int) -> None:
+        """Remove the pebble from ``node``, recomputing fanins if needed."""
+        # Pin the node itself: the eviction inside _ensure could otherwise
+        # pick it as a victim and uncompute it twice.
+        self._pin(node)
+        pinned: List[int] = [node]
+        try:
+            for dep in self._ordered_deps(node):
+                self._ensure(dep)
+                self._pin(dep)
+                pinned.append(dep)
+            self.steps.append(PebbleStep(UNCOMPUTE, node))
+            self.live.discard(node)
+        finally:
+            for dep in pinned:
+                self._unpin(dep)
+
+    def run(self) -> List[PebbleStep]:
+        mapping = self.mapping
+        for j, po in enumerate(mapping.aig.pos()):
+            driver = lit_node(po)
+            if driver in mapping.luts:
+                self._ensure(driver)
+            self.steps.append(_copy_step(mapping, j))
+        # Final cleanup: uncompute the remaining pebbles top-down.  Node
+        # indices are topological, so the highest-index pebble never has a
+        # pebbled parent; its fanins are recomputed on demand.
+        while self.live:
+            self._release(max(self.live))
+        return self.steps
+
+
+#: Growth factor of the anchor-budget ladder evaluated by
+#: :func:`bounded_schedule`.
+_ANCHOR_GROWTH = 1.25
+
+
+def _pebble_memo(mapping: LutMapping) -> Dict:
+    """Per-mapping memo of greedy runs (attached to the mapping object)."""
+    memo = getattr(mapping, "_pebble_memo", None)
+    if memo is None:
+        memo = {"greedy": {}, "cost": {}, "block_gates": {}}
+        mapping._pebble_memo = memo
+    return memo
+
+
+def _greedy_steps(mapping: LutMapping, budget: int) -> Optional[List[PebbleStep]]:
+    """The greedy run for one budget, or ``None`` when it is infeasible.
+
+    Greedy feasibility is *not* monotone in the budget (the eviction choice
+    changes with the budget, and an unlucky choice can strand the
+    scheduler), so both outcomes are memoized and callers must treat an
+    infeasible budget as skippable rather than as a lower bound.
+    """
+    memo = _pebble_memo(mapping)
+    if budget not in memo["greedy"]:
+        try:
+            memo["greedy"][budget] = _BoundedScheduler(mapping, budget).run()
+        except ValueError:
+            memo["greedy"][budget] = None
+    return memo["greedy"][budget]
+
+
+def _estimated_gates(mapping: LutMapping, steps: Sequence[PebbleStep]) -> int:
+    """Gate count of the default (ESOP) executor for a step list.
+
+    Deterministic in the schedule alone, so it can rank candidate schedules
+    without synthesising circuits.  Uses the same
+    :func:`~repro.logic.esop.psdkro_cubes` primitive as the executor's
+    blocks, so the estimate cannot drift from the synthesised gate count.
+    """
+    from repro.logic.esop import psdkro_cubes
+
+    memo = _pebble_memo(mapping)
+    block_gates = memo["block_gates"]
+
+    def lut_gates(root: int) -> int:
+        if root not in block_gates:
+            leaves, truth = mapping.luts[root]
+            block_gates[root] = len(psdkro_cubes(truth, len(leaves)))
+        return block_gates[root]
+
+    total = 0
+    for step in steps:
+        if step.op == COPY:
+            po = mapping.aig.pos()[step.output]
+            if lit_node(po) != 0:
+                total += 1
+            if po & 1:
+                total += 1
+        else:
+            total += lut_gates(step.node)
+    return total
+
+
+def _anchor_budgets(maximum: int) -> List[int]:
+    """Geometric ladder of budgets from 1 to ``maximum``, dense at the start."""
+    anchors = []
+    budget = 1
+    while budget < maximum:
+        anchors.append(budget)
+        budget = max(budget + 1, int(round(budget * _ANCHOR_GROWTH)))
+    anchors.append(maximum)
+    return anchors
+
+
+def _schedule_cost(mapping: LutMapping, budget: int) -> Optional[Tuple[int, int]]:
+    """Memoized (estimated gates, steps) of one greedy run; ``None`` if infeasible."""
+    memo = _pebble_memo(mapping)
+    if budget not in memo["cost"]:
+        steps = _greedy_steps(mapping, budget)
+        memo["cost"][budget] = (
+            None if steps is None else (_estimated_gates(mapping, steps), len(steps))
+        )
+    return memo["cost"][budget]
+
+
+def bounded_schedule(mapping: LutMapping, max_pebbles) -> PebbleSchedule:
+    """A schedule that never holds more than ``max_pebbles`` pebbles.
+
+    ``max_pebbles`` is an absolute pebble budget; a float in ``(0, 1)`` is
+    accepted as a fraction of the LUT count (raised to
+    :func:`minimum_pebbles` when the fraction lands below it, convenient
+    for sweeps over designs of unknown size).  A budget no scheduler run
+    can satisfy raises :class:`ValueError`.
+
+    The heuristic evaluates the greedy scheduler on a geometric ladder of
+    anchor budgets up to ``max_pebbles`` — anchors whose greedy run is
+    infeasible are skipped, since greedy feasibility is not monotone in
+    the budget — and keeps the cheapest result by the deterministic
+    gate-count estimate of the ESOP executor.  Because a larger budget
+    only ever *adds* anchors to the candidate set, the gate count is
+    monotonically non-increasing in the budget for every budget at or
+    above :func:`minimum_pebbles` — the metamorphic guarantee the test
+    suite pins — while every candidate's pebble peak is bounded by its own
+    anchor and therefore by ``max_pebbles``.  Below the minimum, the
+    budget itself is probed as a last resort before rejecting, so a valid
+    user budget is never refused on the ladder's account.
+    """
+    if isinstance(max_pebbles, float) and 0 < max_pebbles < 1:
+        max_pebbles = max(
+            minimum_pebbles(mapping),
+            int(round(max_pebbles * mapping.num_luts())),
+        )
+    max_pebbles = int(max_pebbles)
+    if max_pebbles < 1:
+        raise ValueError("max_pebbles must be at least 1")
+    memo = _pebble_memo(mapping)
+    best: Optional[List[PebbleStep]] = None
+    best_cost: Optional[Tuple[int, int]] = None
+    for anchor in _anchor_budgets(max(1, mapping.num_luts())):
+        if anchor > max_pebbles:
+            break
+        cost = _schedule_cost(mapping, anchor)
+        if cost is None:
+            continue
+        if best_cost is None or cost < best_cost:
+            best, best_cost = memo["greedy"][anchor], cost
+    if best is None:
+        # No feasible anchor at or below the budget: probe the budget
+        # itself before giving up (feasibility is not monotone, so a
+        # non-anchor budget may still work).
+        if _schedule_cost(mapping, max_pebbles) is not None:
+            best = memo["greedy"][max_pebbles]
+        else:
+            raise ValueError(
+                f"max_pebbles={max_pebbles} is below the scheduler's "
+                f"minimum of {minimum_pebbles(mapping)} for this LUT DAG"
+            )
+    return PebbleSchedule(
+        mapping, list(best), strategy="bounded", max_pebbles=max_pebbles
+    )
+
+
+def minimum_pebbles(mapping: LutMapping) -> int:
+    """Smallest anchor budget the bounded scheduler is guaranteed to accept.
+
+    Every ``max_pebbles`` at or above this value succeeds (and enjoys the
+    monotone gate-count guarantee); a smaller budget may still be accepted
+    when its own greedy run happens to be feasible.  This is the
+    heuristic's threshold, an upper bound on the optimal pebbling number
+    of the DAG.  The result and every probe run are memoized on the
+    mapping object.
+    """
+    memo = _pebble_memo(mapping)
+    if "minimum" not in memo:
+        for anchor in _anchor_budgets(max(1, mapping.num_luts())):
+            if _greedy_steps(mapping, anchor) is not None:
+                memo["minimum"] = anchor
+                break
+        else:  # pragma: no cover - the full-DAG budget never evicts
+            memo["minimum"] = max(1, mapping.num_luts())
+    return memo["minimum"]
+
+
+def make_schedule(
+    mapping: LutMapping,
+    strategy: str = "bennett",
+    max_pebbles=None,
+) -> PebbleSchedule:
+    """Build and validate a schedule with the named strategy.
+
+    ``strategy`` is one of :data:`PEBBLING_STRATEGIES` (``"per_output"`` is
+    accepted as an alias of ``"eager"``).  ``max_pebbles`` is only
+    meaningful for ``"bounded"``; when omitted the budget defaults to half
+    the LUT count (raised to feasibility).
+    """
+    if strategy == "per_output":
+        strategy = "eager"
+    if strategy == "bennett":
+        schedule = bennett_schedule(mapping)
+    elif strategy == "eager":
+        schedule = eager_schedule(mapping)
+    elif strategy == "bounded":
+        if max_pebbles is None:
+            max_pebbles = 0.5
+        schedule = bounded_schedule(mapping, max_pebbles)
+    else:
+        raise ValueError(
+            f"unknown pebbling strategy {strategy!r}; expected one of "
+            f"{', '.join(PEBBLING_STRATEGIES)}"
+        )
+    schedule.stats()  # validate once; callers reuse the cached statistics
+    return schedule

@@ -81,6 +81,53 @@ class TestCommands:
         assert exit_code == 0
         assert "qubits" in capsys.readouterr().out
 
+    def test_flow_command_lut_bounded(self, capsys):
+        exit_code = main(
+            ["flow", "--flow", "lut", "--design", "intdiv", "-n", "4",
+             "-k", "3", "--strategy", "bounded", "--max-pebbles", "0.5"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "lut" in output and "verified" in output
+
+    def test_flow_command_rejects_non_integer_budget(self, capsys):
+        exit_code = main(
+            ["flow", "--flow", "lut", "--design", "intdiv", "-n", "4",
+             "--strategy", "bounded", "--max-pebbles", "2.5"]
+        )
+        assert exit_code == 2
+        assert "integer pebble count" in capsys.readouterr().err
+
+    def test_flow_command_infeasible_budget_exits_2(self, capsys):
+        exit_code = main(
+            ["flow", "--flow", "lut", "--design", "intdiv", "-n", "4",
+             "-k", "2", "--strategy", "bounded", "--max-pebbles", "2"]
+        )
+        assert exit_code == 2
+        assert "minimum" in capsys.readouterr().err
+
+    def test_explore_flow_lut_sweeps_strategies(self, capsys):
+        exit_code = main(
+            ["explore", "--flow", "lut", "--design", "intdiv", "-n", "4",
+             "--no-verify", "--quiet"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "lut(strategy=bennett)" in output
+        assert "lut(strategy=eager)" in output
+        assert "max_pebbles=0.5" in output
+        assert "Pareto front" in output
+
+    def test_explore_sweep_spec_for_lut_parameters(self, capsys):
+        exit_code = main(
+            ["explore", "--design", "intdiv", "-n", "3", "--no-verify",
+             "--quiet", "--sweep", "lut:strategy=bennett,eager:k=2,3"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "lut(k=2, strategy=bennett)" in output
+        assert "lut(k=3, strategy=eager)" in output
+
     def test_explore_command(self, capsys):
         exit_code = main(["explore", "--design", "intdiv", "-n", "4", "--no-verify"])
         assert exit_code == 0

@@ -19,7 +19,7 @@ from repro.reversible.verification import verify_circuit
 
 class TestFlowInfrastructure:
     def test_available_flows(self):
-        assert set(available_flows()) == {"symbolic", "esop", "hierarchical"}
+        assert set(available_flows()) == {"symbolic", "esop", "hierarchical", "lut"}
 
     def test_design_source_errors(self):
         with pytest.raises(ValueError):
@@ -86,6 +86,39 @@ class TestHierarchicalFlow:
         result = run_flow("hierarchical", aig, 4)
         assert result.report.verified is True
         assert verify_circuit(result.circuit, aig.to_truth_table())
+
+
+class TestLutFlow:
+    @pytest.mark.parametrize("strategy", ["bennett", "eager", "bounded"])
+    def test_end_to_end(self, strategy):
+        result = run_flow("lut", "intdiv", 4, k=3, strategy=strategy)
+        assert result.report.verified is True
+        assert result.report.max_controls <= 3  # controls bounded by k
+        assert result.report.extra["num_luts"] > 0
+        assert set(result.stage_runtimes) >= {
+            "frontend", "lut-map", "pebble", "lut-synthesis", "verify"
+        }
+
+    def test_strategies_trade_qubits_for_gates(self):
+        bennett = run_flow("lut", "intdiv", 4, k=2, verify=False,
+                           strategy="bennett").report
+        bounded = run_flow("lut", "intdiv", 4, k=2, verify=False,
+                           strategy="bounded", max_pebbles=0.25).report
+        assert bounded.qubits < bennett.qubits
+        assert bounded.t_count >= bennett.t_count
+
+    def test_custom_aig_input(self):
+        _, aig = synthesize_reciprocal_design("intdiv", 4)
+        result = run_flow("lut", aig, 4, k=3)
+        assert result.report.verified is True
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            run_flow("lut", "intdiv", 3, verify=False, strategy="sideways")
+
+    def test_tbs_sub_synthesizer(self):
+        result = run_flow("lut", "intdiv", 3, k=3, lut_synth="tbs")
+        assert result.report.verified is True
 
 
 class TestFlowTradeOffs:

@@ -20,27 +20,36 @@ GOLDEN_COSTS = [
     ("intdiv", 3, "esop", {"p": 0}, 6, 36),
     ("intdiv", 3, "esop", {"p": 1}, 6, 36),
     ("intdiv", 3, "hierarchical", {"strategy": "bennett"}, 51, 532),
-    ("intdiv", 3, "hierarchical", {"strategy": "per_output"}, 51, 868),
+    ("intdiv", 3, "hierarchical", {"strategy": "per_output"}, 49, 868),
     ("intdiv", 4, "symbolic", {}, 7, 2959),
     ("intdiv", 4, "esop", {"p": 0}, 8, 142),
     ("intdiv", 4, "esop", {"p": 1}, 12, 120),
     ("intdiv", 4, "hierarchical", {"strategy": "bennett"}, 115, 1190),
-    ("intdiv", 4, "hierarchical", {"strategy": "per_output"}, 115, 2688),
+    ("intdiv", 4, "hierarchical", {"strategy": "per_output"}, 112, 2688),
     ("intdiv", 5, "symbolic", {}, 9, 25264),
     ("intdiv", 5, "esop", {"p": 0}, 10, 336),
     ("intdiv", 5, "esop", {"p": 1}, 15, 248),
     ("intdiv", 5, "hierarchical", {"strategy": "bennett"}, 188, 1960),
-    ("intdiv", 5, "hierarchical", {"strategy": "per_output"}, 188, 5432),
+    ("intdiv", 5, "hierarchical", {"strategy": "per_output"}, 184, 5432),
     ("newton", 2, "symbolic", {}, 3, 28),
     ("newton", 2, "esop", {"p": 0}, 4, 7),
     ("newton", 2, "esop", {"p": 1}, 4, 7),
     ("newton", 2, "hierarchical", {"strategy": "bennett"}, 5, 14),
-    ("newton", 2, "hierarchical", {"strategy": "per_output"}, 5, 14),
+    ("newton", 2, "hierarchical", {"strategy": "per_output"}, 4, 14),
     ("newton", 3, "symbolic", {}, 5, 282),
     ("newton", 3, "esop", {"p": 0}, 6, 44),
     ("newton", 3, "esop", {"p": 1}, 7, 43),
     ("newton", 3, "hierarchical", {"strategy": "bennett"}, 635, 6370),
     ("newton", 3, "hierarchical", {"strategy": "per_output"}, 608, 17346),
+    # LUT-based pebbling flow: one (strategy, k) grid per design so both
+    # the scheduler and the area-flow mapper are pinned.
+    ("intdiv", 3, "lut", {"strategy": "bennett", "k": 2}, 64, 658),
+    ("intdiv", 3, "lut", {"strategy": "bennett", "k": 3}, 9, 58),
+    ("intdiv", 3, "lut", {"strategy": "eager", "k": 2}, 62, 1106),
+    ("intdiv", 3, "lut", {"strategy": "bounded", "k": 2, "max_pebbles": 0.5}, 30, 1302),
+    ("intdiv", 4, "lut", {"strategy": "bennett", "k": 3}, 55, 1088),
+    ("intdiv", 4, "lut", {"strategy": "eager", "k": 3}, 52, 2488),
+    ("intdiv", 4, "lut", {"strategy": "bounded", "k": 3, "max_pebbles": 0.5}, 32, 2270),
 ]
 
 
@@ -66,4 +75,7 @@ def test_golden_table_covers_every_flow_configuration():
         (flow, tuple(sorted(parameters.items())))
         for _, _, flow, parameters, _, _ in GOLDEN_COSTS
     }
-    assert len(configurations) == 5  # the paper's five configurations
+    # The paper's five configurations plus six lut (strategy, k) points.
+    assert len(configurations) == 5 + 6
+    flows = {flow for _, _, flow, _, _, _ in GOLDEN_COSTS}
+    assert flows == {"symbolic", "esop", "hierarchical", "lut"}

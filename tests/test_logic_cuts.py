@@ -1,10 +1,17 @@
 """Unit tests for cut enumeration and LUT mapping."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.logic.aig import Aig, lit_node, lit_not
-from repro.logic.cuts import Cut, cut_truth_table, enumerate_cuts, lut_map
+from repro.logic.cuts import (
+    Cut,
+    cut_truth_table,
+    enumerate_cuts,
+    filter_dominated_cuts,
+    lut_map,
+)
 
 
 def build_adder_aig(width=4):
@@ -61,6 +68,173 @@ class TestCutEnumeration:
         truth = cut_truth_table(aig, cut)
         # Leaves are sorted (a, b); NOT a AND b is minterm where a=0,b=1.
         assert truth == 0b0100
+
+
+class TestCutDominance:
+    def test_filter_removes_supersets(self):
+        cuts = [
+            Cut(9, (1, 2)),
+            Cut(9, (1, 2, 3)),  # dominated by {1, 2}
+            Cut(9, (2, 4)),
+            Cut(9, (1, 4)),
+        ]
+        kept = filter_dominated_cuts(cuts)
+        assert kept == [Cut(9, (1, 2)), Cut(9, (2, 4)), Cut(9, (1, 4))]
+
+    def test_filter_handles_unsorted_input(self):
+        # A later, smaller cut must also knock out an earlier superset.
+        cuts = [Cut(9, (1, 2, 3)), Cut(9, (1, 3))]
+        assert filter_dominated_cuts(cuts) == [Cut(9, (1, 3))]
+
+    def test_filter_deduplicates_equal_leaf_sets(self):
+        cuts = [Cut(9, (1, 2)), Cut(9, (1, 2))]
+        assert filter_dominated_cuts(cuts) == [Cut(9, (1, 2))]
+
+    def test_filter_keeps_incomparable_cuts(self):
+        cuts = [Cut(9, (1, 2)), Cut(9, (3, 4)), Cut(9, (1, 4))]
+        assert filter_dominated_cuts(cuts) == cuts
+
+    @pytest.mark.parametrize("selection", ["depth", "area"])
+    def test_no_dominated_cut_survives_enumeration(self, selection):
+        # A reconvergent structure: cuts of the top node include both
+        # {x, y} and leaf sets reaching through them; no kept cut may be a
+        # strict superset of another kept cut.
+        aig = build_adder_aig(4)
+        cuts = enumerate_cuts(aig, k=4, selection=selection)
+        for node, node_cuts in cuts.items():
+            non_trivial = [c for c in node_cuts if c.leaves != (node,)]
+            for cut in non_trivial:
+                leaves = set(cut.leaves)
+                dominators = [
+                    other
+                    for other in non_trivial
+                    if other is not cut and set(other.leaves) < leaves
+                ]
+                assert not dominators, (
+                    f"node {node}: cut {cut.leaves} dominated by "
+                    f"{dominators[0].leaves}"
+                )
+
+    def test_dominated_cut_never_survives_pruning_under_pressure(self):
+        # With max_cuts = 1 only the best cut survives; it must be the
+        # dominating one even though the dominated cut merges first.
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        ab = aig.create_and(a, b)
+        top = aig.create_and(ab, a)  # reconverges on a
+        aig.add_po(top)
+        cuts = enumerate_cuts(aig, k=3, max_cuts=8)
+        node = lit_node(top)
+        leaf_sets = [set(c.leaves) for c in cuts[node]]
+        # {a, ab} is dominated by nothing; {a, b, ab}-style supersets of
+        # smaller kept cuts must be gone.
+        for leaves in leaf_sets:
+            assert not any(
+                other < leaves for other in leaf_sets if other is not leaves
+            )
+
+    def test_max_cuts_pruning_keeps_priority_order(self):
+        aig = build_adder_aig(4)
+        for max_cuts in (1, 2, 4):
+            cuts = enumerate_cuts(aig, k=4, max_cuts=max_cuts)
+            for node in aig.nodes():
+                if not aig.is_and(node):
+                    continue
+                # At most max_cuts cuts plus the trivial one.
+                assert len(cuts[node]) <= max_cuts + 1
+                # The kept non-trivial cuts stay in priority order (sorted
+                # by size first), so the best cut heads the list.
+                sizes = [c.size() for c in cuts[node] if c.leaves != (node,)]
+                assert sizes == sorted(sizes)
+                assert all(size <= 4 for size in sizes)
+
+    def test_unknown_selection_policy_rejected(self):
+        aig = build_adder_aig(2)
+        with pytest.raises(ValueError):
+            enumerate_cuts(aig, k=4, selection="random")
+        with pytest.raises(ValueError):
+            lut_map(aig, k=4, selection="random")
+
+
+class TestAreaSelection:
+    def test_area_mapping_never_needs_more_luts(self):
+        aig = build_adder_aig(5)
+        for k in (3, 4, 5):
+            area = lut_map(aig, k=k, selection="area")
+            depth = lut_map(aig, k=k, selection="depth")
+            assert area.num_luts() <= depth.num_luts()
+
+    def test_lut_count_shrinks_with_k(self):
+        aig = build_adder_aig(5)
+        counts = [lut_map(aig, k=k, selection="area").num_luts() for k in (2, 3, 4, 6)]
+        assert all(a >= b for a, b in zip(counts, counts[1:])), counts
+
+    def test_area_mapping_reconstructs_outputs(self):
+        aig = build_adder_aig(3)
+        mapping = lut_map(aig, k=4, selection="area")
+        mapped_aig = mapping.aig
+        for x in range(1 << mapped_aig.num_pis()):
+            values = {0: 0}
+            for i, pi in enumerate(mapped_aig.pis()):
+                values[lit_node(pi)] = (x >> i) & 1
+            for root in mapping.order:
+                leaves, truth = mapping.luts[root]
+                index = 0
+                for pos, leaf in enumerate(leaves):
+                    if values[leaf]:
+                        index |= 1 << pos
+                values[root] = (truth >> index) & 1
+            word = 0
+            for j, po in enumerate(mapped_aig.pos()):
+                bit = values[lit_node(po)] ^ int(po & 1)
+                word |= bit << j
+            assert word == mapped_aig.simulate_minterm(x)
+
+
+class TestLutMappingHelpers:
+    def test_dependencies_are_lut_roots_only(self):
+        aig = build_adder_aig(4)
+        mapping = lut_map(aig, k=4)
+        for root in mapping.order:
+            for dep in mapping.dependencies(root):
+                assert dep in mapping.luts
+            leaves, _ = mapping.luts[root]
+            pis = [leaf for leaf in leaves if mapping.aig.is_pi(leaf)]
+            assert len(pis) + len(mapping.dependencies(root)) == len(leaves)
+
+    def test_lut_cone_is_topological_and_inclusive(self):
+        aig = build_adder_aig(4)
+        mapping = lut_map(aig, k=4)
+        for po in mapping.aig.pos():
+            cone = mapping.lut_cone(lit_node(po))
+            seen = set()
+            for root in cone:
+                assert all(dep in seen for dep in mapping.dependencies(root))
+                seen.add(root)
+            if lit_node(po) in mapping.luts:
+                assert lit_node(po) in cone
+
+    def test_lut_levels_and_depth(self):
+        aig = build_adder_aig(4)
+        mapping = lut_map(aig, k=4)
+        levels = mapping.lut_levels()
+        for root in mapping.order:
+            deps = mapping.dependencies(root)
+            expected = 1 + max((levels[d] for d in deps), default=-1)
+            assert levels[root] == expected
+        assert mapping.depth() == 1 + max(levels.values())
+
+    def test_lut_fanout_counts_include_outputs(self):
+        aig = build_adder_aig(3)
+        mapping = lut_map(aig, k=4)
+        counts = mapping.lut_fanout_counts()
+        total_dep_edges = sum(
+            len(mapping.dependencies(root)) for root in mapping.order
+        )
+        po_refs = sum(
+            1 for po in mapping.aig.pos() if lit_node(po) in mapping.luts
+        )
+        assert sum(counts.values()) == total_dep_edges + po_refs
 
 
 class TestLutMapping:

@@ -1,0 +1,367 @@
+"""Metamorphic/property tests for the reversible pebbling scheduler.
+
+Every schedule a strategy emits must survive :func:`validate_schedule` (the
+machine-checked pebble-game rules); on top of that the suite pins the
+strategy-level invariants promised by the module:
+
+* ``bennett`` — pebble peak equals the LUT count, zero recomputation, and
+  the uncompute suffix is exactly the reversed compute prefix,
+* ``eager``   — pebble peak equals the largest single-output cone,
+* ``bounded`` — the pebble peak never exceeds the budget, infeasible
+  budgets are rejected, and the gate count degrades monotonically as the
+  budget shrinks.
+
+The LUT DAGs are seeded random AIGs (``repro.verify.fuzz``), so a failing
+case prints a seed that reproduces the exact structure.
+"""
+
+import pytest
+
+from repro.logic.aig import lit_node
+from repro.logic.cuts import lut_map
+from repro.reversible.lut_synth import synthesize_schedule
+from repro.reversible.pebbling import (
+    COMPUTE,
+    COPY,
+    UNCOMPUTE,
+    InvalidScheduleError,
+    PebbleSchedule,
+    PebbleStep,
+    bennett_schedule,
+    bounded_schedule,
+    eager_schedule,
+    make_schedule,
+    minimum_pebbles,
+    validate_schedule,
+)
+from repro.verify.differential import check_equivalent
+from repro.verify.fuzz import random_aig
+
+SEEDS = range(12)
+LUT_SIZES = (2, 3, 4)
+
+
+def mapping_for(seed, k=3, num_pis=4, num_gates=14, num_pos=3):
+    aig = random_aig(seed, num_pis=num_pis, num_gates=num_gates, num_pos=num_pos)
+    return lut_map(aig, k=k)
+
+
+class TestEveryStrategyValidates:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("k", LUT_SIZES)
+    def test_all_strategies_pass_the_validator(self, seed, k):
+        mapping = mapping_for(seed, k=k)
+        schedules = [
+            bennett_schedule(mapping),
+            eager_schedule(mapping),
+            bounded_schedule(mapping, minimum_pebbles(mapping)),
+            bounded_schedule(mapping, max(1, mapping.num_luts())),
+        ]
+        for schedule in schedules:
+            stats = validate_schedule(schedule)
+            assert stats.num_steps == len(schedule)
+            assert stats.num_copies == mapping.aig.num_pos()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_make_schedule_dispatcher(self, seed):
+        mapping = mapping_for(seed)
+        for strategy in ("bennett", "eager", "per_output", "bounded"):
+            schedule = make_schedule(mapping, strategy=strategy)
+            validate_schedule(schedule)
+        assert make_schedule(mapping, "per_output").strategy == "eager"
+        with pytest.raises(ValueError):
+            make_schedule(mapping, strategy="greedy-ish")
+
+
+class TestBennettProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("k", LUT_SIZES)
+    def test_pebble_peak_equals_lut_count(self, seed, k):
+        mapping = mapping_for(seed, k=k)
+        schedule = bennett_schedule(mapping)
+        assert schedule.pebble_peak() == mapping.num_luts()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_no_recomputation(self, seed):
+        schedule = bennett_schedule(mapping_for(seed))
+        assert schedule.num_recomputes() == 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reversed_computes_equal_uncompute_suffix(self, seed):
+        schedule = bennett_schedule(mapping_for(seed))
+        computes = [step.node for step in schedule.compute_steps()]
+        suffix = schedule.steps[-len(computes):] if computes else []
+        assert all(step.op == UNCOMPUTE for step in suffix)
+        assert [step.node for step in suffix] == list(reversed(computes))
+
+
+class TestEagerProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("k", LUT_SIZES)
+    def test_pebble_peak_is_largest_cone(self, seed, k):
+        mapping = mapping_for(seed, k=k)
+        schedule = eager_schedule(mapping)
+        largest_cone = max(
+            (len(mapping.lut_cone(lit_node(po))) for po in mapping.aig.pos()),
+            default=0,
+        )
+        assert schedule.pebble_peak() == largest_cone
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_each_cone_cleans_up_before_the_next_copy(self, seed):
+        # Metamorphic shape check: between two copies, uncomputes mirror the
+        # computes of the same cone in reverse.
+        schedule = eager_schedule(mapping_for(seed))
+        segment = []
+        for step in schedule.steps:
+            if step.op == COMPUTE:
+                segment.append(step.node)
+            elif step.op == UNCOMPUTE:
+                assert step.node == segment.pop()
+        assert segment == []
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_eager_never_uses_fewer_gates_than_bennett(self, seed):
+        mapping = mapping_for(seed)
+        eager = synthesize_schedule(eager_schedule(mapping))
+        bennett = synthesize_schedule(bennett_schedule(mapping))
+        assert eager.num_gates() >= bennett.num_gates()
+        assert eager.num_lines() <= bennett.num_lines()
+
+
+class TestBoundedProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("k", LUT_SIZES)
+    def test_budget_respected_for_every_feasible_budget(self, seed, k):
+        mapping = mapping_for(seed, k=k)
+        floor = minimum_pebbles(mapping)
+        for budget in range(floor, max(1, mapping.num_luts()) + 1):
+            schedule = bounded_schedule(mapping, budget)
+            stats = validate_schedule(schedule)
+            assert stats.pebble_peak <= budget
+            assert schedule.max_pebbles == budget
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("k", LUT_SIZES)
+    def test_gate_count_degrades_monotonically(self, seed, k):
+        mapping = mapping_for(seed, k=k)
+        floor = minimum_pebbles(mapping)
+        budgets = range(floor, max(1, mapping.num_luts()) + 1)
+        gate_counts = [
+            synthesize_schedule(bounded_schedule(mapping, budget)).num_gates()
+            for budget in budgets
+        ]
+        assert all(a >= b for a, b in zip(gate_counts, gate_counts[1:])), (
+            f"seed {seed}, k {k}: gate counts not monotone: {gate_counts}"
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_infeasible_budget_rejected(self, seed):
+        # One pebble can never compute a LUT that depends on another LUT.
+        mapping = mapping_for(seed)
+        if any(mapping.dependencies(root) for root in mapping.order):
+            with pytest.raises(ValueError, match="minimum"):
+                bounded_schedule(mapping, 1)
+
+    def test_every_budget_at_or_above_minimum_is_accepted(self):
+        # Regression: greedy feasibility is NOT monotone in the budget;
+        # these corpora contain budgets where the greedy run strands while
+        # neighbouring budgets succeed.  bounded_schedule must skip such
+        # anchors instead of crashing, so every budget >= minimum_pebbles
+        # yields a valid schedule.
+        for seed, k, max_cuts in [(585, 2, 4), (21, 3, 4)]:
+            aig = random_aig(seed, num_pis=5, num_gates=30 if seed == 585 else 25,
+                             num_pos=4)
+            mapping = lut_map(aig, k=k, max_cuts=max_cuts)
+            floor = minimum_pebbles(mapping)
+            for budget in range(floor, max(1, mapping.num_luts()) + 1):
+                schedule = bounded_schedule(mapping, budget)
+                assert validate_schedule(schedule).pebble_peak <= budget
+
+    def test_deep_dependency_chain_does_not_overflow_recursion(self):
+        # Regression: the bounded scheduler walks the LUT DAG with an
+        # explicit stack; a dependency chain deeper than Python's default
+        # recursion limit must schedule (and validate) fine.
+        import sys
+
+        from repro.logic.aig import Aig
+
+        # Each stage XORs in a fresh primary input, so no small cut can
+        # absorb the chain and the k = 2 LUT DAG stays ~3x deeper than
+        # the stage count.
+        aig = Aig("chain")
+        literal = aig.add_pi()
+        for _ in range(1500):
+            literal = aig.create_xor(literal, aig.add_pi())
+        aig.add_po(literal)
+        mapping = lut_map(aig, k=2)
+        assert mapping.depth() > sys.getrecursionlimit()
+        schedule = bounded_schedule(mapping, minimum_pebbles(mapping))
+        stats = validate_schedule(schedule)
+        assert stats.pebble_peak <= schedule.max_pebbles
+
+    def test_feasible_budget_below_minimum_is_probed_not_rejected(self):
+        # A budget below the guaranteed threshold must still be accepted
+        # when its own greedy run happens to succeed (and cleanly rejected
+        # otherwise) — never crash, never refuse a workable budget.
+        for seed, k in [(21, 3), (585, 2)]:
+            aig = random_aig(seed, num_pis=5, num_gates=25, num_pos=4)
+            mapping = lut_map(aig, k=k, max_cuts=4)
+            floor = minimum_pebbles(mapping)
+            for budget in range(1, floor):
+                try:
+                    schedule = bounded_schedule(mapping, budget)
+                except ValueError:
+                    continue
+                assert validate_schedule(schedule).pebble_peak <= budget
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fractional_budget_resolves_to_a_feasible_one(self, seed):
+        mapping = mapping_for(seed)
+        schedule = bounded_schedule(mapping, 0.25)
+        stats = validate_schedule(schedule)
+        assert stats.pebble_peak <= schedule.max_pebbles
+        assert schedule.max_pebbles >= minimum_pebbles(mapping)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_full_budget_matches_bennett_gate_count(self, seed):
+        # With the whole DAG's worth of pebbles the scheduler never has to
+        # recompute, so it meets the Bennett lower bound of the gate count.
+        mapping = mapping_for(seed)
+        bounded = synthesize_schedule(
+            bounded_schedule(mapping, max(1, mapping.num_luts()))
+        )
+        bennett = synthesize_schedule(bennett_schedule(mapping))
+        assert bounded.num_gates() <= bennett.num_gates()
+
+
+class TestScheduleExecution:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_every_strategy_synthesises_equivalently(self, seed):
+        aig = random_aig(seed, num_pis=4, num_gates=12, num_pos=3)
+        mapping = lut_map(aig, k=3)
+        for schedule in (
+            bennett_schedule(mapping),
+            eager_schedule(mapping),
+            bounded_schedule(mapping, 0.5),
+        ):
+            circuit = synthesize_schedule(schedule)
+            check = check_equivalent(aig, circuit, mode="full")
+            assert check.equivalent, f"seed {seed}: {check.message}"
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tbs_blocks_agree_with_esop_blocks(self, seed):
+        aig = random_aig(seed, num_pis=3, num_gates=8, num_pos=2)
+        mapping = lut_map(aig, k=3)
+        schedule = bennett_schedule(mapping)
+        esop = synthesize_schedule(schedule, lut_synth="esop")
+        tbs = synthesize_schedule(schedule, lut_synth="tbs")
+        for circuit in (esop, tbs):
+            check = check_equivalent(aig, circuit, mode="full")
+            assert check.equivalent, f"seed {seed}: {check.message}"
+        assert esop.num_lines() == tbs.num_lines()
+
+    def test_unknown_sub_synthesizer_rejected(self):
+        schedule = bennett_schedule(mapping_for(0))
+        with pytest.raises(ValueError):
+            synthesize_schedule(schedule, lut_synth="magic")
+
+    @pytest.mark.parametrize("strategy", ["bennett", "eager", "bounded"])
+    def test_lut_synthesis_wrapper(self, strategy):
+        from repro.reversible.lut_synth import lut_synthesis
+
+        aig = random_aig(3, num_pis=4, num_gates=12, num_pos=3)
+        circuit = lut_synthesis(aig, k=3, strategy=strategy, max_pebbles=0.5)
+        check = check_equivalent(aig, circuit, mode="full")
+        assert check.equivalent, check.message
+
+
+class TestValidatorRejectsTamperedSchedules:
+    def _schedule(self, seed=0):
+        return bennett_schedule(mapping_for(seed))
+
+    def test_dropped_uncompute_leaves_ancilla_dirty(self):
+        schedule = self._schedule()
+        tampered = PebbleSchedule(schedule.mapping, schedule.steps[:-1])
+        with pytest.raises(InvalidScheduleError, match="dirty"):
+            validate_schedule(tampered)
+
+    def test_compute_before_fanin_rejected(self):
+        schedule = self._schedule()
+        steps = list(schedule.steps)
+        # Find a compute whose LUT has dependencies and hoist it to the front.
+        target = next(
+            step
+            for step in steps
+            if step.op == COMPUTE and schedule.mapping.dependencies(step.node)
+        )
+        steps.remove(target)
+        steps.insert(0, target)
+        with pytest.raises(InvalidScheduleError, match="fanin"):
+            validate_schedule(PebbleSchedule(schedule.mapping, steps))
+
+    def test_double_compute_rejected(self):
+        schedule = self._schedule()
+        first = schedule.steps[0]
+        tampered = PebbleSchedule(schedule.mapping, [first] + list(schedule.steps))
+        with pytest.raises(InvalidScheduleError, match="already pebbled"):
+            validate_schedule(tampered)
+
+    def test_copy_of_unpebbled_driver_rejected(self):
+        mapping = mapping_for(0)
+        copies = [
+            step for step in bennett_schedule(mapping).steps if step.op == COPY
+        ]
+        driven = [
+            step for step in copies if lit_node(mapping.aig.pos()[step.output]) in mapping.luts
+        ]
+        assert driven, "corpus must contain a LUT-driven output"
+        with pytest.raises(InvalidScheduleError, match="unpebbled"):
+            validate_schedule(PebbleSchedule(mapping, [driven[0]]))
+
+    def test_duplicate_copy_rejected(self):
+        schedule = self._schedule()
+        copies = [step for step in schedule.steps if step.op == COPY]
+        steps = list(schedule.steps) + [copies[0]]
+        with pytest.raises(InvalidScheduleError, match="copied twice"):
+            validate_schedule(PebbleSchedule(schedule.mapping, steps))
+
+    def test_missing_output_rejected(self):
+        schedule = self._schedule()
+        steps = [step for step in schedule.steps if step.op != COPY]
+        with pytest.raises(InvalidScheduleError, match="never copied"):
+            validate_schedule(PebbleSchedule(schedule.mapping, steps))
+
+    def test_mismatched_copy_driver_rejected(self):
+        schedule = self._schedule()
+        steps = [
+            PebbleStep(COPY, step.node + 1, step.output)
+            if step.op == COPY
+            else step
+            for step in schedule.steps
+        ]
+        with pytest.raises(InvalidScheduleError, match="driver"):
+            validate_schedule(PebbleSchedule(schedule.mapping, steps))
+
+    def test_declared_budget_enforced(self):
+        schedule = self._schedule()
+        assert schedule.mapping.num_luts() > 1
+        tampered = PebbleSchedule(
+            schedule.mapping, list(schedule.steps), max_pebbles=1
+        )
+        with pytest.raises(InvalidScheduleError, match="budget"):
+            validate_schedule(tampered)
+
+    def test_unknown_op_rejected(self):
+        schedule = self._schedule()
+        steps = list(schedule.steps) + [PebbleStep("teleport", 0)]
+        with pytest.raises(InvalidScheduleError, match="unknown op"):
+            validate_schedule(PebbleSchedule(schedule.mapping, steps))
+
+    def test_uncompute_of_unpebbled_node_rejected(self):
+        schedule = self._schedule()
+        first_uncompute = next(
+            step for step in schedule.steps if step.op == UNCOMPUTE
+        )
+        with pytest.raises(InvalidScheduleError, match="not pebbled"):
+            validate_schedule(PebbleSchedule(schedule.mapping, [first_uncompute]))

@@ -107,6 +107,59 @@ class TestHierarchicalSynthesis:
         # ... at the price of additional gates when logic is shared.
         assert per_output.num_gates() >= bennett.num_gates() * 0.5
 
+    def test_per_output_pass_through_uses_2n_lines(self):
+        # Regression for the copy-target pool: a design whose outputs are
+        # bare primary inputs must use exactly inputs + outputs qubits —
+        # no ancilla is allocated for a trivial cone.
+        from repro.hdl.synthesize import synthesize_verilog
+
+        n = 4
+        source = (
+            f"module pass (input [{n-1}:0] a, output [{n-1}:0] y);\n"
+            "    assign y = a;\nendmodule\n"
+        )
+        aig = synthesize_verilog(source)
+        xmg = aig_to_xmg(aig)
+        for strategy in ("bennett", "per_output"):
+            circuit = hierarchical_synthesis(xmg, strategy=strategy)
+            assert circuit.num_lines() == 2 * n, strategy
+            assert verify_circuit(circuit, aig.to_truth_table())
+
+    def test_per_output_trivial_output_reuses_freed_ancilla(self):
+        # One computed cone followed by a bare-PI output: after the cone is
+        # uncomputed its ancilla is zero again, so the trivial output's copy
+        # target must reuse it instead of allocating a fresh line.
+        from repro.logic.xmg import Xmg
+
+        xmg = Xmg("mix")
+        a, b, c = xmg.add_pi("a"), xmg.add_pi("b"), xmg.add_pi("c")
+        xmg.add_po(xmg.create_maj(a, b, c), "m")
+        xmg.add_po(a, "y")
+        per_output = hierarchical_synthesis(xmg, strategy="per_output")
+        # 3 inputs + 1 cone ancilla (claimed as output m) + ... the second
+        # output reuses the freed cone line: 5 lines, not 6.
+        assert per_output.num_lines() == 5
+        bennett = hierarchical_synthesis(xmg, strategy="bennett")
+        assert bennett.num_lines() == 6
+        from repro.verify.differential import check_equivalent
+
+        for circuit in (per_output, bennett):
+            check = check_equivalent(xmg, circuit, mode="full")
+            assert check.equivalent, check.message
+
+    def test_per_output_constant_outputs_cost_no_ancilla(self):
+        from repro.logic.xmg import Xmg
+
+        xmg = Xmg("consts")
+        a = xmg.add_pi("a")
+        xmg.add_po(Xmg.CONST1, "one")
+        xmg.add_po(Xmg.CONST0, "zero")
+        xmg.add_po(a, "y")
+        circuit = hierarchical_synthesis(xmg, strategy="per_output")
+        assert circuit.num_lines() == 4  # 1 input + 3 output lines
+        assert circuit.evaluate(0) == 0b001
+        assert circuit.evaluate(1) == 0b101
+
     def test_max_controls_is_two(self):
         _, aig = synthesize_reciprocal_design("intdiv", 4)
         xmg = aig_to_xmg(aig)
