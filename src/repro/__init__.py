@@ -63,6 +63,13 @@ from repro.core.flows import (
 )
 from repro.hdl.designs import intdiv_verilog, newton_verilog
 from repro.hdl.synthesize import synthesize_verilog
+from repro.opt import (
+    Pass,
+    Pipeline,
+    available_passes,
+    parse_pipeline,
+    register_pass,
+)
 from repro.verify.differential import (
     DifferentialResult,
     check_equivalent,
@@ -79,8 +86,11 @@ __all__ = [
     "FlowConfiguration",
     "ParameterGrid",
     "ParetoPoint",
+    "Pass",
+    "Pipeline",
     "ResultCache",
     "available_flows",
+    "available_passes",
     "build_sweep",
     "check_equivalent",
     "esop_flow",
@@ -91,6 +101,8 @@ __all__ = [
     "mapped_circuit_simulator",
     "newton_verilog",
     "pareto_front_of",
+    "parse_pipeline",
+    "register_pass",
     "run_flow",
     "symbolic_flow",
     "synthesize_verilog",

@@ -4,10 +4,14 @@ Examples::
 
     python -m repro flow --flow esop --design intdiv -n 8 -p 0
     python -m repro flow --flow hierarchical --verilog adder.v -n 8 --real out.real
+    python -m repro flow --flow hierarchical --design intdiv -n 8 \
+        --opt "resyn2*3" --xmg-opt xmg-default         # pipeline overrides
     python -m repro flow --flow lut --design intdiv -n 8 -k 4 \
         --strategy bounded --max-pebbles 64            # LUT pebbling flow
+    python -m repro passes                             # list optimisation passes
     python -m repro explore --design intdiv -n 6
     python -m repro explore --flow lut --design intdiv -n 8   # strategy sweep
+    python -m repro explore --design intdiv -n 8 --opt "dc2*2" --opt "b;rw;rf"
     python -m repro explore --design intdiv -n 8 --verify sampled
     python -m repro verify --design intdiv -n 4 --mode full --quantum
     python -m repro explore --designs intdiv newton --bitwidths 4 5 6 \
@@ -133,6 +137,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--lut-synth", choices=["esop", "tbs"], default="esop",
         help="per-LUT sub-synthesizer of the lut flow (default: esop)",
     )
+    flow.add_argument(
+        "--opt", metavar="PIPELINE",
+        help="AIG optimisation pipeline spec overriding the flow default, "
+        "e.g. 'b;rw;rf', 'dc2*3' or 'none' (see `repro passes`)",
+    )
+    flow.add_argument(
+        "--xmg-opt", metavar="PIPELINE",
+        help="XMG optimisation pipeline of the hierarchical flow (applied "
+        "to the mapped XMG) and of the lut flow (applied as an AIG-XMG-AIG "
+        "round-trip), e.g. 'xmg-default' (default: disabled)",
+    )
+    flow.add_argument(
+        "--opt-guard", choices=["off", "sampled", "full", "auto"],
+        default="off",
+        help="differentially check every optimisation pass application "
+        "(default: off)",
+    )
     flow.add_argument("--no-verify", action="store_true", help="skip equivalence checking")
     flow.add_argument("--cost-model", default="rtof", choices=["rtof", "barenco"])
     flow.add_argument("--real", type=Path, help="write the reversible circuit as RevLib .real")
@@ -182,6 +203,11 @@ def build_parser() -> argparse.ArgumentParser:
         "default: the paper's five configurations)",
     )
     explore.add_argument(
+        "--opt", action="append", default=[], metavar="PIPELINE",
+        help="optimisation pipeline applied to every configuration; "
+        "repeat to sweep pipelines (e.g. --opt 'dc2*2' --opt 'b;rw;rf')",
+    )
+    explore.add_argument(
         "--no-shared-frontend", action="store_true",
         help="bit-blast per configuration instead of once per design instance",
     )
@@ -225,6 +251,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("--cost-model", default="rtof", choices=["rtof", "barenco"])
 
+    passes = subparsers.add_parser(
+        "passes",
+        help="list registered optimisation passes and named pipelines",
+        description="Every pass the pass manager knows, with its aliases, "
+        "the network types it applies to (aig / xmg) and the named "
+        "pipelines usable in --opt specs.",
+    )
+    passes.add_argument(
+        "--network", choices=["aig", "xmg"],
+        help="only list passes applicable to this network type",
+    )
+
     designs = subparsers.add_parser("designs", help="print generated Verilog for a built-in design")
     designs.add_argument("--design", default="intdiv")
     designs.add_argument("-n", "--bitwidth", type=int, default=8)
@@ -235,8 +273,37 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate_pipeline_specs(*specs: Optional[str]) -> Optional[str]:
+    """Parse-check pipeline specs; returns an error message or ``None``.
+
+    Validation happens before any flow runs, so an unknown pass name in
+    ``--opt`` fails fast with the registry's did-you-mean suggestion
+    instead of surfacing as a per-configuration failure mid-sweep.
+    """
+    from repro.opt import parse_pipeline
+
+    for spec in specs:
+        if spec is None:
+            continue
+        try:
+            parse_pipeline(spec)
+        except ValueError as exc:
+            return str(exc)
+    return None
+
+
 def _command_flow(args: argparse.Namespace) -> int:
     parameters = {}
+    error = _validate_pipeline_specs(args.opt, args.xmg_opt)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.opt is not None:
+        parameters["opt"] = args.opt
+    if args.xmg_opt is not None:
+        parameters["xmg_opt"] = args.xmg_opt
+    if args.opt_guard != "off":
+        parameters["opt_guard"] = args.opt_guard
     if args.flow == "esop":
         parameters["p"] = args.factoring
     if args.flow == "hierarchical":
@@ -309,6 +376,22 @@ def _command_explore(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.opt:
+        error = _validate_pipeline_specs(*args.opt)
+        if error is not None:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        expanded = []
+        for entry in configurations:
+            if isinstance(entry, ParameterGrid):
+                expanded.extend(entry.configurations())
+            else:
+                expanded.append(entry)
+        configurations = [
+            configuration.with_parameter("opt", spec)
+            for spec in args.opt
+            for configuration in expanded
+        ]
     tasks = build_sweep(designs, bitwidths, configurations)
 
     progress = {"done": 0}
@@ -409,7 +492,9 @@ def _command_verify(args: argparse.Namespace) -> int:
             cost_model=args.cost_model,
             **parameters,
         )
-        aig = result.context["aig"]
+        # Check against the pre-optimisation AIG so a buggy pipeline pass
+        # cannot corrupt both sides of the comparison.
+        aig = result.context.get("spec_aig") or result.context["aig"]
         check = check_equivalent(
             aig,
             result.circuit,
@@ -470,6 +555,44 @@ def _command_verify(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _command_passes(args: argparse.Namespace) -> int:
+    from repro.opt import available_passes, named_pipelines, parse_pipeline
+
+    rows = [
+        (
+            pass_.name,
+            ", ".join(pass_.aliases) if pass_.aliases else "-",
+            "/".join(sorted(pass_.network_types)),
+            pass_.description,
+        )
+        for pass_ in available_passes(args.network)
+    ]
+    print(
+        format_table(
+            ["pass", "aliases", "networks", "description"],
+            rows,
+            title="Registered optimisation passes",
+        )
+    )
+    pipeline_rows = []
+    for name, (spec, description) in sorted(named_pipelines().items()):
+        pipeline = parse_pipeline(name)
+        networks = "/".join(sorted(pipeline.network_types()))
+        if args.network is not None and args.network not in networks.split("/"):
+            continue
+        pipeline_rows.append((name, networks, spec, description))
+    if pipeline_rows:
+        print()
+        print(
+            format_table(
+                ["pipeline", "networks", "expands to", "description"],
+                pipeline_rows,
+                title="Named pipelines",
+            )
+        )
+    return 0
+
+
 def _command_designs(args: argparse.Namespace) -> int:
     print(design_source(args.design, args.bitwidth), end="")
     return 0
@@ -499,6 +622,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "flow": _command_flow,
         "explore": _command_explore,
         "verify": _command_verify,
+        "passes": _command_passes,
         "designs": _command_designs,
         "baselines": _command_baselines,
     }

@@ -32,10 +32,12 @@ from repro.core.cost import CostReport
 __all__ = ["ResultCache", "cache_key"]
 
 #: Bump to invalidate all existing cache entries when the meaning of a
-#: report (or of a flow) changes incompatibly.  Version 3: the
-#: hierarchical ``per_output`` strategy reuses freed ancillas for output
-#: lines (lower qubit counts), and the ``lut`` flow joined the registry.
-CACHE_FORMAT_VERSION = 3
+#: report (or of a flow) changes incompatibly.  Version 4: the optimise
+#: stages are pass-manager pipelines (``opt`` / ``xmg_opt`` parameters
+#: key every entry; best-result tracking is lexicographic on
+#: ``(gates, depth)``) and the hierarchical flow gained the ``xmg-opt``
+#: stage.
+CACHE_FORMAT_VERSION = 4
 
 
 def _canonical_parameters(parameters: Any) -> Any:

@@ -81,6 +81,17 @@ class FlowConfiguration:
     def as_kwargs(self) -> Dict[str, Any]:
         return dict(self.parameters)
 
+    def with_parameter(self, name: str, value: Any) -> "FlowConfiguration":
+        """A copy with one parameter set (replacing any existing value).
+
+        Used by ``explore --opt`` to cross a configuration list with a
+        set of optimisation pipeline specs.
+        """
+        parameters = tuple(
+            (key, existing) for key, existing in self.parameters if key != name
+        ) + ((name, value),)
+        return FlowConfiguration(self.flow, parameters)
+
 
 @dataclass(frozen=True)
 class ParetoPoint:
@@ -115,9 +126,20 @@ _FLOW_DEFAULT_CONFIGURATIONS: Dict[str, List[FlowConfiguration]] = {
     "hierarchical": [
         FlowConfiguration("hierarchical", (("strategy", "bennett"),)),
         FlowConfiguration("hierarchical", (("strategy", "per_output"),)),
+        FlowConfiguration(
+            "hierarchical",
+            (("strategy", "bennett"), ("xmg_opt", "xmg-default")),
+        ),
+        FlowConfiguration(
+            "hierarchical",
+            (("strategy", "per_output"), ("xmg_opt", "xmg-default")),
+        ),
     ],
     "lut": [
         FlowConfiguration("lut", (("strategy", "bennett"),)),
+        FlowConfiguration(
+            "lut", (("strategy", "bennett"), ("xmg_opt", "xmg-default"))
+        ),
         FlowConfiguration("lut", (("strategy", "eager"),)),
         FlowConfiguration("lut", (("strategy", "bounded"), ("max_pebbles", 0.25))),
         FlowConfiguration("lut", (("strategy", "bounded"), ("max_pebbles", 0.5))),

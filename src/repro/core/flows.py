@@ -29,9 +29,9 @@ from repro.core.flow import Flow, FlowResult, FlowStage
 from repro.hdl.designs import intdiv_verilog, newton_verilog
 from repro.hdl.synthesize import synthesize_verilog
 from repro.logic.aig import Aig
-from repro.logic.aig_opt import optimize_script
 from repro.logic.collapse import bdd_to_truth_table, collapse_to_bdd, collapse_to_esop
 from repro.logic.xmg_mapping import aig_to_xmg
+from repro.opt import as_pipeline
 from repro.reversible.embedding import optimum_embedding
 from repro.reversible.esop_synth import esop_synthesis
 from repro.reversible.hierarchical import hierarchical_synthesis
@@ -113,10 +113,63 @@ def frontend_artifacts(
 
 
 def _make_optimize_stage(script: str, rounds: int) -> FlowStage:
-    def run(context: Dict[str, Any]) -> None:
-        context["aig"] = optimize_script(context["aig"], script, rounds=rounds)
+    """The AIG optimisation stage, now a pass-manager pipeline.
 
-    return FlowStage(f"optimize[{script}x{rounds}]", run)
+    ``script``/``rounds`` give the flow's default pipeline (the historical
+    per-flow ABC script); the ``opt`` context key — a pipeline spec string
+    such as ``"b;rw;rf"`` or ``"dc2*3"``, or a pre-built
+    :class:`repro.opt.Pipeline` — overrides it per run, with ``"none"``
+    disabling AIG optimisation entirely.  ``opt_guard`` optionally enables
+    the per-pass differential equivalence guard
+    (``off``/``sampled``/``full``/``auto``).
+    """
+    default_spec = f"({script})*{rounds}"
+
+    def run(context: Dict[str, Any]) -> None:
+        spec = context.get("opt")
+        pipeline = as_pipeline(default_spec if spec is None else spec)
+        # The pre-optimisation AIG is the specification the verify stage
+        # checks against; keeping it aside means a buggy optimisation
+        # pass corrupts the implementation but never the reference.
+        context.setdefault("spec_aig", context["aig"])
+        result = pipeline.run(
+            context["aig"], guard=context.get("opt_guard", "off")
+        )
+        context["aig"] = result.network
+        context["opt_reports"] = result.reports
+        context["extra_metrics"] = {
+            **context.get("extra_metrics", {}),
+            "opt_pipeline": str(pipeline),
+            "opt_gates": result.network.num_gates(),
+        }
+
+    return FlowStage("optimize", run)
+
+
+def _stage_xmg_opt(context: Dict[str, Any]) -> None:
+    """Optional XMG optimisation pipeline between mapping and synthesis.
+
+    Disabled by default (``xmg_opt`` unset/None/"none"): pass a spec such
+    as ``"xmg-default"`` (the registered strash/Ω-rewrite/XOR/cut-refactor
+    pipeline) or any combination of the ``xmg_*`` passes to reduce the MAJ
+    count — and therefore the Toffoli blocks and T-count — of the
+    hierarchical synthesis back-end.
+    """
+    spec = context.get("xmg_opt")
+    pipeline = as_pipeline(spec)
+    if not len(pipeline):
+        return
+    result = pipeline.run(
+        context["xmg"], guard=context.get("opt_guard", "off")
+    )
+    context["xmg"] = result.network
+    context["xmg_opt_reports"] = result.reports
+    context["extra_metrics"] = {
+        **context.get("extra_metrics", {}),
+        "xmg_opt_pipeline": str(pipeline),
+        "xmg_maj": result.network.num_maj(),
+        "xmg_xor": result.network.num_xor(),
+    }
 
 
 def _stage_post_optimize(context: Dict[str, Any]) -> None:
@@ -135,13 +188,16 @@ def _stage_verify(context: Dict[str, Any]) -> None:
     modes ``off`` / ``sampled`` / ``full`` / ``auto``; the check itself is
     the bit-parallel differential checker of :mod:`repro.verify`, which
     simulates the bit-blasted AIG and the synthesised reversible circuit
-    on the same packed pattern batch.
+    on the same packed pattern batch.  The reference is ``spec_aig`` —
+    the AIG *before* any optimisation pipeline touched it — so a buggy
+    pass (or a buggy XMG round-trip) makes verification fail instead of
+    silently verifying the circuit against its own corrupted input.
     """
     mode = normalize_verify_mode(context.get("verify", True))
     if mode == "off":
         context["verified"] = None
         return
-    aig: Aig = context["aig"]
+    aig: Aig = context.get("spec_aig") or context["aig"]
     result = check_equivalent(
         aig,
         context["circuit"],
@@ -257,13 +313,20 @@ def _stage_hierarchical(context: Dict[str, Any]) -> None:
 
 
 def hierarchical_flow(cost_model: str = "rtof", optimization_rounds: int = 2) -> Flow:
-    """The hierarchical synthesis flow (Section IV-C / Table IV)."""
+    """The hierarchical synthesis flow (Section IV-C / Table IV).
+
+    Between XMG mapping and synthesis an optional XMG optimisation
+    pipeline (context key ``xmg_opt``, e.g. ``"xmg-default"``) reduces
+    the MAJ count that directly determines the Toffoli blocks of the
+    back-end.
+    """
     return Flow(
         "hierarchical",
         [
             FlowStage("frontend", _stage_frontend, provides=("aig",)),
             _make_optimize_stage("resyn2", optimization_rounds),
             FlowStage("xmglut", _stage_xmg_map),
+            FlowStage("xmg-opt", _stage_xmg_opt),
             FlowStage("hierarchical-synthesis", _stage_hierarchical),
             FlowStage("post-optimize", _stage_post_optimize),
             FlowStage("verify", _stage_verify),
@@ -273,6 +336,38 @@ def hierarchical_flow(cost_model: str = "rtof", optimization_rounds: int = 2) ->
 
 
 # -- LUT-based hierarchical flow (pebbling) ------------------------------------------
+
+
+def _stage_xmg_roundtrip(context: Dict[str, Any]) -> None:
+    """Optional XMG optimisation of the LUT flow's AIG (round-trip).
+
+    The LUT flow consumes an AIG, so the XMG pass library reaches it by
+    mapping the optimised AIG into an XMG, running the ``xmg_opt``
+    pipeline (same parameter as the hierarchical flow, e.g.
+    ``"xmg-default"``) and expanding the result back with
+    :func:`~repro.logic.xmg_mapping.xmg_to_aig`.  The round-tripped AIG
+    carries the XOR/MAJ structure the pipeline found, which LUT covering
+    packs into fewer, cheaper LUTs.  Disabled by default.
+    """
+    spec = context.get("xmg_opt")
+    pipeline = as_pipeline(spec)
+    if not len(pipeline):
+        return
+    from repro.logic.xmg_mapping import xmg_to_aig
+
+    context.setdefault("spec_aig", context["aig"])
+    # ``xmg_opt_k`` sizes the AIG->XMG mapping of the round-trip; it is
+    # deliberately independent of the LUT covering size ``k`` downstream.
+    xmg = aig_to_xmg(context["aig"], k=context.get("xmg_opt_k", 4))
+    result = pipeline.run(xmg, guard=context.get("opt_guard", "off"))
+    context["aig"] = xmg_to_aig(result.network)
+    context["xmg_opt_reports"] = result.reports
+    context["extra_metrics"] = {
+        **context.get("extra_metrics", {}),
+        "xmg_opt_pipeline": str(pipeline),
+        "xmg_maj": result.network.num_maj(),
+        "xmg_xor": result.network.num_xor(),
+    }
 
 
 def _stage_lut_map(context: Dict[str, Any]) -> None:
@@ -328,14 +423,17 @@ def lut_flow(cost_model: str = "rtof", optimization_rounds: int = 2) -> Flow:
     ``max_cuts`` (priority-cut bound), ``cut_selection`` (``area`` —
     default — or ``depth``), ``strategy`` (``bennett`` / ``eager`` /
     ``bounded``), ``max_pebbles`` (pebble budget of the bounded strategy;
-    an int, or a float in ``(0, 1)`` as a fraction of the LUT count) and
-    ``lut_synth`` (per-LUT sub-synthesizer, ``esop`` or ``tbs``).
+    an int, or a float in ``(0, 1)`` as a fraction of the LUT count),
+    ``lut_synth`` (per-LUT sub-synthesizer, ``esop`` or ``tbs``) and
+    ``xmg_opt`` (optional XMG round-trip optimisation pipeline, see
+    :func:`_stage_xmg_roundtrip`).
     """
     return Flow(
         "lut",
         [
             FlowStage("frontend", _stage_frontend, provides=("aig",)),
             _make_optimize_stage("resyn2", optimization_rounds),
+            FlowStage("xmg-opt", _stage_xmg_roundtrip),
             FlowStage("lut-map", _stage_lut_map),
             FlowStage("pebble", _stage_pebble),
             FlowStage("lut-synthesis", _stage_lut_synthesis),
@@ -375,7 +473,11 @@ def run_flow(
     ``off`` / ``sampled`` / ``full`` / ``auto`` (see
     :mod:`repro.verify.differential`).  ``parameters`` are forwarded to the
     stages (``p``, ``strategy``, ``lut_size``, ``k``, ``max_pebbles``,
-    ``lut_synth``, ``bidirectional``, ``verilog``, ``verify_samples``, ...).
+    ``lut_synth``, ``bidirectional``, ``verilog``, ``verify_samples``,
+    ``opt`` — an AIG pipeline spec such as ``"b;rw;rf"`` or ``"none"`` —
+    ``xmg_opt`` — an XMG pipeline spec such as ``"xmg-default"`` for the
+    hierarchical flow — and ``opt_guard``, the per-pass equivalence guard
+    mode, ...).
     """
     if flow not in _FLOW_FACTORIES:
         raise ValueError(

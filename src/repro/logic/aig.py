@@ -24,34 +24,16 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.logic.lits import (  # noqa: F401  (re-exported for compatibility)
+    lit_is_compl,
+    lit_node,
+    lit_not,
+    lit_not_cond,
+    make_lit,
+)
 from repro.logic.truth_table import TruthTable, tt_mask, tt_var
 
 __all__ = ["Aig", "lit_not", "lit_is_compl", "lit_node", "make_lit"]
-
-
-def make_lit(node: int, compl: bool = False) -> int:
-    """Build a literal from a node index and a complement flag."""
-    return (node << 1) | int(compl)
-
-
-def lit_node(lit: int) -> int:
-    """Node index of a literal."""
-    return lit >> 1
-
-
-def lit_is_compl(lit: int) -> bool:
-    """True if the literal is complemented."""
-    return bool(lit & 1)
-
-
-def lit_not(lit: int) -> int:
-    """Complement a literal."""
-    return lit ^ 1
-
-
-def lit_not_cond(lit: int, condition: bool) -> int:
-    """Complement a literal iff ``condition`` is true."""
-    return lit ^ int(condition)
 
 
 class Aig:
@@ -59,6 +41,10 @@ class Aig:
 
     CONST0 = 0  # literal of the constant-0 function
     CONST1 = 1  # literal of the constant-1 function
+
+    #: Network-type tag of the :class:`repro.logic.network.LogicNetwork`
+    #: protocol (the pass manager keys pass applicability on it).
+    network_type = "aig"
 
     def __init__(self, name: str = "aig"):
         self.name = name
@@ -223,6 +209,10 @@ class Aig:
         """True if the node is an AND node."""
         return node != 0 and self._fanin0[node] != -1
 
+    def is_gate(self, node: int) -> bool:
+        """True if the node is an internal gate (protocol alias of AND)."""
+        return self.is_and(node)
+
     def fanins(self, node: int) -> Tuple[int, int]:
         """Fanin literals of an AND node."""
         if not self.is_and(node):
@@ -236,6 +226,24 @@ class Aig:
     def and_nodes(self) -> List[int]:
         """Indices of all AND nodes in topological order."""
         return [n for n in range(len(self._fanin0)) if self.is_and(n)]
+
+    def gate_nodes(self) -> List[int]:
+        """Indices of all gate nodes (protocol alias of :meth:`and_nodes`)."""
+        return self.and_nodes()
+
+    def num_gates(self) -> int:
+        """Number of gate nodes (protocol alias of :meth:`num_nodes`)."""
+        return self.num_nodes()
+
+    def eval_gate(self, node: int, operands: Sequence[int]) -> int:
+        """Evaluate one gate on complement-adjusted operand words.
+
+        Part of the :class:`repro.logic.network.LogicNetwork` protocol:
+        ``operands`` are the fanin values (bit-parallel integer words or
+        plain truth tables) with fanin complements already applied, in
+        fanin order.  For an AIG this is always a binary AND.
+        """
+        return operands[0] & operands[1]
 
     def levels(self) -> Dict[int, int]:
         """Logic level of every node (PIs and constant at level 0)."""

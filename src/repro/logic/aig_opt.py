@@ -22,9 +22,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Set, Tuple
 
-from repro.logic.aig import Aig, lit_is_compl, lit_node, lit_not_cond
+from repro.logic.aig import Aig
+from repro.logic.lits import lit_is_compl, lit_node, lit_not_cond
+from repro.logic.network import collect_cone, cone_truth_table
 from repro.logic.sop import Expression, expression_literal_count, factor_cubes, isop
-from repro.logic.truth_table import tt_mask, tt_var
+from repro.logic.truth_table import tt_mask
 
 __all__ = ["balance", "refactor", "rewrite", "dc2", "resyn2", "optimize_script"]
 
@@ -63,54 +65,10 @@ def _materialization_roots(aig: Aig, include_complemented: bool = True) -> Set[i
     return {node for node in roots if aig.is_and(node)}
 
 
-def _collect_cone(aig: Aig, root: int, stops: Set[int]) -> Tuple[List[int], List[int]]:
-    """Leaves and internal nodes of the cone of ``root``.
-
-    The traversal stops at primary inputs and at any node in ``stops`` (other
-    than the root itself).  Internal nodes are returned in topological
-    order.
-    """
-    leaves: List[int] = []
-    internal: List[int] = []
-    seen: Set[int] = set()
-    stack = [root]
-    while stack:
-        node = stack.pop()
-        if node in seen:
-            continue
-        seen.add(node)
-        if node != root and (node in stops or not aig.is_and(node)):
-            leaves.append(node)
-            continue
-        internal.append(node)
-        f0, f1 = aig.fanins(node)
-        stack.append(lit_node(f0))
-        stack.append(lit_node(f1))
-    internal.sort()
-    leaves.sort()
-    return leaves, internal
-
-
-def _cone_truth_table(
-    aig: Aig, root: int, leaves: Sequence[int], internal: Sequence[int]
-) -> int:
-    """Truth table of ``root`` over the cone ``leaves`` (leaf i = variable i)."""
-    num_vars = len(leaves)
-    mask = tt_mask(num_vars)
-    tables: Dict[int, int] = {0: 0}
-    for i, leaf in enumerate(leaves):
-        tables[leaf] = tt_var(i, num_vars)
-
-    def lit_table(lit: int) -> int:
-        table = tables[lit_node(lit)]
-        if lit_is_compl(lit):
-            table ^= mask
-        return table
-
-    for node in internal:
-        f0, f1 = aig.fanins(node)
-        tables[node] = lit_table(f0) & lit_table(f1)
-    return tables[root]
+# Cone collection and truth-table extraction are the protocol-level
+# helpers of :mod:`repro.logic.network`, shared with the XMG passes.
+_collect_cone = collect_cone
+_cone_truth_table = cone_truth_table
 
 
 def _build_expression(aig: Aig, expr: Expression, leaf_lits: Sequence[int]) -> int:
@@ -298,24 +256,17 @@ def resyn2(aig: Aig) -> Aig:
 def optimize_script(aig: Aig, script: str = "dc2", rounds: int = 1) -> Aig:
     """Run a named optimisation script for a number of rounds.
 
-    ``script`` is one of ``"dc2"``, ``"resyn2"``, ``"balance"``,
-    ``"rewrite"`` or ``"refactor"``; the best result (by AND count) over the
-    rounds is returned, matching how the paper iterates ABC scripts "several
-    rounds".
+    Legacy name-based API, kept as a thin wrapper over the pass manager
+    (:mod:`repro.opt`): ``script`` is any registered pass or pipeline
+    spec — the historical names ``"dc2"``, ``"resyn2"``, ``"balance"``,
+    ``"rewrite"`` and ``"refactor"`` are all registered passes — and the
+    best result over the rounds is returned, matching how the paper
+    iterates ABC scripts "several rounds".  "Best" is lexicographic
+    ``(node count, depth)``, so a depth-improving round at equal size is
+    kept; unknown names raise a ``ValueError`` with a did-you-mean
+    suggestion.
     """
-    passes = {
-        "dc2": dc2,
-        "resyn2": resyn2,
-        "balance": balance,
-        "rewrite": rewrite,
-        "refactor": refactor,
-    }
-    if script not in passes:
-        raise ValueError(f"unknown optimisation script {script!r}")
-    best = aig.cleanup()
-    current = best
-    for _ in range(max(1, rounds)):
-        current = passes[script](current)
-        if current.num_nodes() < best.num_nodes():
-            best = current
-    return best
+    from repro.opt import parse_pipeline
+
+    pipeline = parse_pipeline(f"({script})*{max(1, rounds)}")
+    return pipeline.run(aig).network

@@ -1,8 +1,16 @@
-"""k-feasible cut enumeration and LUT covering for AIGs.
+"""k-feasible cut enumeration and LUT covering for logic networks.
 
 Cut enumeration is the engine behind the ``xmglut`` analogue
 (:mod:`repro.logic.xmg_mapping`): the AIG is covered by k-input LUTs and each
 LUT function is then resynthesised into XOR/majority primitives.
+
+All entry points are written against the
+:class:`~repro.logic.network.LogicNetwork` protocol, not against
+:class:`~repro.logic.aig.Aig`: cut merging iterates whatever fanin tuple a
+gate reports (two for AND/XOR, three for MAJ) and truth-table extraction
+evaluates nodes through :meth:`~repro.logic.network.LogicNetwork.eval_gate`.
+The same machinery therefore covers AIGs for the LUT/pebbling flow *and*
+XMGs for the cut-based MAJ refactoring pass of :mod:`repro.opt`.
 
 The implementation follows the standard *priority cuts* scheme: every node
 keeps at most ``max_cuts`` cuts of at most ``k`` leaves, obtained by merging
@@ -16,9 +24,11 @@ the bounded priority list.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import product as iter_product
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.logic.aig import Aig, lit_is_compl, lit_node
+from repro.logic.lits import lit_is_compl, lit_node
+from repro.logic.network import LogicNetwork
 from repro.logic.truth_table import tt_mask, tt_var
 
 __all__ = [
@@ -71,15 +81,17 @@ def filter_dominated_cuts(cuts: Sequence[Cut]) -> List[Cut]:
 
 
 def enumerate_cuts(
-    aig: Aig, k: int = 4, max_cuts: int = 8, selection: str = "depth"
+    network: LogicNetwork, k: int = 4, max_cuts: int = 8, selection: str = "depth"
 ) -> Dict[int, List[Cut]]:
     """Enumerate up to ``max_cuts`` k-feasible cuts for every node.
 
-    Returns a mapping from node index to its cut list.  The first cut of
-    every node is its *best* cut under the ``selection`` policy; the
-    trivial cut is always included last.  Dominated cuts (leaf supersets of
-    another cut at the same node) are filtered before the priority
-    truncation.
+    ``network`` is any :class:`~repro.logic.network.LogicNetwork` (AIG or
+    XMG); cut merging combines one cut per fanin, however many fanins the
+    gate has.  Returns a mapping from node index to its cut list.  The
+    first cut of every node is its *best* cut under the ``selection``
+    policy; the trivial cut is always included last.  Dominated cuts (leaf
+    supersets of another cut at the same node) are filtered before the
+    priority truncation.
 
     ``selection`` orders each node's priority list:
 
@@ -98,25 +110,26 @@ def enumerate_cuts(
             "expected 'depth' or 'area'"
         )
     cuts: Dict[int, List[Cut]] = {0: [Cut(0, ())]}
-    levels = aig.levels()
+    levels = network.levels()
     # Area flow of the best cut of every processed node (PIs cost nothing).
     best_area: Dict[int, int] = {0: 0}
 
-    for node in aig.nodes():
+    for node in network.nodes():
         if node == 0:
             continue
-        if aig.is_pi(node):
+        if network.is_pi(node):
             cuts[node] = [Cut(node, (node,))]
             best_area[node] = 0
             continue
-        f0, f1 = aig.fanins(node)
-        n0, n1 = lit_node(f0), lit_node(f1)
+        fanin_nodes = [lit_node(f) for f in network.fanins(node)]
         merged: Set[Tuple[int, ...]] = set()
-        for cut0 in cuts[n0]:
-            for cut1 in cuts[n1]:
-                leaves = tuple(sorted(set(cut0.leaves) | set(cut1.leaves)))
-                if len(leaves) <= k:
-                    merged.add(leaves)
+        for combo in iter_product(*(cuts[f] for f in fanin_nodes)):
+            leaf_set: Set[int] = set()
+            for cut_ in combo:
+                leaf_set.update(cut_.leaves)
+            leaves = tuple(sorted(leaf_set))
+            if len(leaves) <= k:
+                merged.add(leaves)
         candidates = [Cut(node, leaves) for leaves in merged]
         if selection == "area":
             candidates.sort(
@@ -149,14 +162,16 @@ def enumerate_cuts(
     return cuts
 
 
-def cut_truth_table(aig: Aig, cut: Cut) -> int:
+def cut_truth_table(network: LogicNetwork, cut: Cut) -> int:
     """Integer truth table of the cut root expressed over its leaves.
 
     Leaf ``i`` of the cut corresponds to variable ``i`` of the truth table.
     The cone is walked with an explicit stack: a cut whose leaves sit right
     at the primary inputs (as the area-flow mapper likes to choose on
     reconvergent logic) can span a cone deeper than the Python recursion
-    limit.
+    limit.  Node evaluation goes through
+    :meth:`~repro.logic.network.LogicNetwork.eval_gate`, so AND, MAJ and
+    XOR cones are all supported.
     """
     num_vars = len(cut.leaves)
     mask = tt_mask(num_vars)
@@ -170,23 +185,25 @@ def cut_truth_table(aig: Aig, cut: Cut) -> int:
         if node in tables:
             stack.pop()
             continue
-        if not aig.is_and(node):
+        if not network.is_gate(node):
             raise ValueError(
                 f"node {node} is not inside the cone of cut {cut}: "
                 "cut leaves do not form a proper cut"
             )
-        f0, f1 = aig.fanins(node)
+        fanins = network.fanins(node)
         pending = [
-            fanin
-            for fanin in (lit_node(f0), lit_node(f1))
-            if fanin not in tables
+            fanin_node
+            for fanin_node in (lit_node(f) for f in fanins)
+            if fanin_node not in tables
         ]
         if pending:
             stack.extend(pending)
             continue
-        table0 = tables[lit_node(f0)] ^ (mask if lit_is_compl(f0) else 0)
-        table1 = tables[lit_node(f1)] ^ (mask if lit_is_compl(f1) else 0)
-        tables[node] = table0 & table1
+        operands = [
+            tables[lit_node(f)] ^ (mask if lit_is_compl(f) else 0)
+            for f in fanins
+        ]
+        tables[node] = network.eval_gate(node, operands) & mask
         stack.pop()
 
     return tables[cut.root]
@@ -196,16 +213,23 @@ def cut_truth_table(aig: Aig, cut: Cut) -> int:
 class LutMapping:
     """Result of a LUT covering: one LUT per selected root node.
 
-    All node indices refer to ``aig`` (the cleaned copy the cover was
-    computed on), not to the AIG originally passed to :func:`lut_map`.
+    All node indices refer to ``aig`` (the cleaned copy of the covered
+    network — historically always an AIG, hence the field name; the
+    :attr:`network` alias reads better for XMG covers), not to the network
+    originally passed to :func:`lut_map`.
     """
 
     k: int
-    aig: Aig
+    aig: LogicNetwork
     # root node -> (leaf nodes, truth table over the leaves)
     luts: Dict[int, Tuple[Tuple[int, ...], int]] = field(default_factory=dict)
     # topological order of the LUT roots
     order: List[int] = field(default_factory=list)
+
+    @property
+    def network(self) -> LogicNetwork:
+        """The covered network (alias of the historical ``aig`` field)."""
+        return self.aig
 
     def num_luts(self) -> int:
         """Number of LUTs in the cover."""
@@ -268,9 +292,9 @@ class LutMapping:
 
 
 def lut_map(
-    aig: Aig, k: int = 4, max_cuts: int = 8, selection: str = "depth"
+    network: LogicNetwork, k: int = 4, max_cuts: int = 8, selection: str = "depth"
 ) -> LutMapping:
-    """Cover the AIG with k-input LUTs (greedy covering from the outputs).
+    """Cover a logic network with k-input LUTs (greedy covering from the outputs).
 
     Every node first receives a *best cut* of its priority list; the cover
     is then chosen by walking backwards from the primary outputs and
@@ -282,32 +306,42 @@ def lut_map(
     * ``"area"`` — area-flow ordering (see :func:`enumerate_cuts`): the
       cover instantiates the fewest LUTs the priority lists allow, which is
       what makes the LUT size ``k`` an actual area knob for the LUT-based
-      pebbling flow.
+      pebbling flow and for the cut-based XMG refactoring pass.
     """
-    aig = aig.cleanup()
-    cuts = enumerate_cuts(aig, k=k, max_cuts=max_cuts, selection=selection)
+    network = network.cleanup()
+    cuts = enumerate_cuts(network, k=k, max_cuts=max_cuts, selection=selection)
 
     best_cut: Dict[int, Cut] = {}
-    for node in aig.nodes():
-        if aig.is_and(node):
+    for node in network.nodes():
+        if network.is_gate(node):
             # Prefer non-trivial cuts; the enumeration could otherwise
             # select the trivial single-leaf cut.
             node_cuts = [c for c in cuts[node] if c.leaves != (node,)]
-            best_cut[node] = node_cuts[0] if node_cuts else cuts[node][0]
+            if not node_cuts:
+                # Only the self-cut is left: the gate's fanin arity
+                # exceeds k, so no cover can express it (a cover through
+                # an ancestor cut would need a non-trivial cut here too).
+                # Fail loudly instead of emitting a self-referential LUT.
+                raise ValueError(
+                    f"cut size k={k} cannot cover node {node} with "
+                    f"{len(network.fanins(node))} fanins; increase k to "
+                    "at least the largest gate arity"
+                )
+            best_cut[node] = node_cuts[0]
 
     required: Set[int] = set()
-    stack = [lit_node(po) for po in aig.pos()]
+    stack = [lit_node(po) for po in network.pos()]
     luts: Dict[int, Tuple[Tuple[int, ...], int]] = {}
     while stack:
         node = stack.pop()
-        if node in required or node == 0 or aig.is_pi(node):
+        if node in required or node == 0 or network.is_pi(node):
             continue
         required.add(node)
         cut = best_cut[node]
-        truth = cut_truth_table(aig, cut)
+        truth = cut_truth_table(network, cut)
         luts[node] = (cut.leaves, truth)
         for leaf in cut.leaves:
             stack.append(leaf)
 
-    order = [node for node in aig.nodes() if node in luts]
-    return LutMapping(k=k, aig=aig, luts=luts, order=order)
+    order = [node for node in network.nodes() if node in luts]
+    return LutMapping(k=k, aig=network, luts=luts, order=order)

@@ -1,0 +1,46 @@
+"""Shared literal encoding of every multi-level logic network.
+
+All graph representations of the logic layer (:class:`repro.logic.aig.Aig`,
+:class:`repro.logic.xmg.Xmg`) use the same literal convention, inherited
+from the AIGER world:
+
+* a *literal* is ``2 * node + complement``,
+* literal ``0`` is the constant FALSE, literal ``1`` the constant TRUE,
+* XOR-ing a literal with ``1`` complements it.
+
+Historically each network module carried its own copy of these four
+one-liners; they now live here once and are re-exported by the network
+modules for backwards compatibility.  Keeping the encoding identical across
+network types is what lets :mod:`repro.logic.network` traverse any network
+uniformly and lets optimisation passes translate literals between networks
+without an encoding shim.
+"""
+
+from __future__ import annotations
+
+__all__ = ["lit_is_compl", "lit_node", "lit_not", "lit_not_cond", "make_lit"]
+
+
+def make_lit(node: int, compl: bool = False) -> int:
+    """Build a literal from a node index and a complement flag."""
+    return (node << 1) | int(compl)
+
+
+def lit_node(lit: int) -> int:
+    """Node index of a literal."""
+    return lit >> 1
+
+
+def lit_is_compl(lit: int) -> bool:
+    """True if the literal is complemented."""
+    return bool(lit & 1)
+
+
+def lit_not(lit: int) -> int:
+    """Complement a literal."""
+    return lit ^ 1
+
+
+def lit_not_cond(lit: int, condition: bool) -> int:
+    """Complement a literal iff ``condition`` is true."""
+    return lit ^ int(condition)

@@ -20,34 +20,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.logic.lits import (  # noqa: F401  (re-exported for compatibility)
+    lit_is_compl,
+    lit_node,
+    lit_not,
+    lit_not_cond,
+    make_lit,
+)
 from repro.logic.truth_table import TruthTable, tt_mask, tt_var
 
 __all__ = ["Xmg"]
-
-
-def make_lit(node: int, compl: bool = False) -> int:
-    """Build an XMG literal from a node index and complement flag."""
-    return (node << 1) | int(compl)
-
-
-def lit_node(lit: int) -> int:
-    """Node index of an XMG literal."""
-    return lit >> 1
-
-
-def lit_is_compl(lit: int) -> bool:
-    """True if the literal is complemented."""
-    return bool(lit & 1)
-
-
-def lit_not(lit: int) -> int:
-    """Complement an XMG literal."""
-    return lit ^ 1
-
-
-def lit_not_cond(lit: int, condition: bool) -> int:
-    """Complement a literal iff ``condition`` is true."""
-    return lit ^ int(condition)
 
 
 class Xmg:
@@ -55,6 +37,10 @@ class Xmg:
 
     CONST0 = 0
     CONST1 = 1
+
+    #: Network-type tag of the :class:`repro.logic.network.LogicNetwork`
+    #: protocol (the pass manager keys pass applicability on it).
+    network_type = "xmg"
 
     _KIND_CONST = 0
     _KIND_PI = 1
@@ -226,9 +212,28 @@ class Xmg:
         """All node indices in topological order."""
         return range(len(self._kind))
 
+    def is_gate(self, node: int) -> bool:
+        """True if the node is an internal gate (MAJ or XOR)."""
+        return self._kind[node] in (self._KIND_MAJ, self._KIND_XOR)
+
     def gate_nodes(self) -> List[int]:
         """Indices of all MAJ/XOR nodes in topological order."""
-        return [n for n in self.nodes() if self.is_maj(n) or self.is_xor(n)]
+        return [n for n in self.nodes() if self.is_gate(n)]
+
+    def eval_gate(self, node: int, operands: Sequence[int]) -> int:
+        """Evaluate one gate on complement-adjusted operand words.
+
+        Part of the :class:`repro.logic.network.LogicNetwork` protocol:
+        ``operands`` are the fanin values (bit-parallel integer words or
+        plain truth tables) with fanin complements already applied, in
+        fanin order — majority-of-three for MAJ nodes, parity for XOR.
+        """
+        if self.is_maj(node):
+            a, b, c = operands
+            return (a & b) | (a & c) | (b & c)
+        if self.is_xor(node):
+            return operands[0] ^ operands[1]
+        raise ValueError(f"node {node} is not a gate")
 
     def num_maj(self) -> int:
         """Number of majority nodes (including AND/OR specialisations)."""

@@ -22,10 +22,11 @@ from repro.logic.aig import lit_is_compl as aig_lit_is_compl
 from repro.logic.aig import lit_node as aig_lit_node
 from repro.logic.cuts import lut_map
 from repro.logic.esop import _PsdkroExtractor
+from repro.logic.lits import lit_is_compl, lit_node
 from repro.logic.truth_table import tt_mask, tt_support, tt_var
 from repro.logic.xmg import Xmg, lit_not, lit_not_cond
 
-__all__ = ["aig_to_xmg", "synthesize_lut_into_xmg"]
+__all__ = ["aig_to_xmg", "synthesize_lut_into_xmg", "xmg_to_aig"]
 
 
 def synthesize_lut_into_xmg(
@@ -118,3 +119,34 @@ def aig_to_xmg(aig: Aig, k: int = 4, max_cuts: int = 8) -> Xmg:
         literal = lit_not_cond(node_lit[aig_lit_node(po)], aig_lit_is_compl(po))
         xmg.add_po(literal, name)
     return xmg.cleanup()
+
+
+def xmg_to_aig(xmg: Xmg) -> Aig:
+    """Expand an XMG back into an AIG (the inverse direction of
+    :func:`aig_to_xmg`).
+
+    Each MAJ node becomes the three-AND majority construction and each
+    XOR node its three-AND XOR form.  The AND count grows accordingly,
+    but an XMG shaped by the :mod:`repro.opt` pass library round-trips
+    into an XOR/MAJ-structured AIG that LUT covering packs into fewer,
+    cheaper LUTs — which is how the XMG passes reach the AIG-consuming
+    flows.
+    """
+    aig = Aig(xmg.name)
+    mapping = {0: Aig.CONST0}
+    for pi_lit, name in zip(xmg.pis(), xmg.pi_names()):
+        mapping[lit_node(pi_lit)] = aig.add_pi(name)
+
+    def convert(lit: int) -> int:
+        return lit_not_cond(mapping[lit_node(lit)], lit_is_compl(lit))
+
+    for node in xmg.nodes():
+        if xmg.is_maj(node):
+            a, b, c = (convert(f) for f in xmg.fanins(node))
+            mapping[node] = aig.create_maj(a, b, c)
+        elif xmg.is_xor(node):
+            a, b = (convert(f) for f in xmg.fanins(node))
+            mapping[node] = aig.create_xor(a, b)
+    for po, name in zip(xmg.pos(), xmg.po_names()):
+        aig.add_po(convert(po), name)
+    return aig.cleanup()

@@ -1,0 +1,85 @@
+"""Optimisation pass manager over the logic-network protocol.
+
+The paper iterates ABC optimisation scripts "several rounds" before every
+reversible synthesis back-end; this package turns that pattern into a
+first-class subsystem:
+
+:class:`~repro.opt.passes.Pass`
+    A named, registered network transformation with a declared network
+    type (``aig`` / ``xmg``), per-application before/after
+    :class:`~repro.logic.network.NetworkStats` and wall-clock accounting.
+
+:class:`~repro.opt.pipeline.Pipeline`
+    An ABC-style pass sequence parsed from specs such as ``"b;rw;rf"``,
+    ``"dc2*3"`` or ``"(xst;xrf)*2"``, with round repetition, keep-best
+    tracking under the lexicographic :func:`~repro.logic.network.network_cost`
+    objective, and an optional per-pass equivalence guard backed by
+    :func:`repro.verify.check_equivalent`.
+
+:mod:`~repro.opt.registry`
+    The global pass/pipeline registry the CLI (``python -m repro passes``),
+    the flows (``--opt``) and the exploration engine enumerate; unknown
+    names fail with a did-you-mean suggestion.
+
+The AIG passes (:mod:`~repro.opt.aig_passes`) wrap the historical
+:mod:`repro.logic.aig_opt` scripts; the XMG library
+(:mod:`~repro.opt.xmg_passes`) adds structural strashing, algebraic
+Ω-rule MAJ rewriting, XOR chain simplification and cut-based MAJ-count
+refactoring — the first optimisation the MAJ/XOR structure feeding the
+hierarchical and LUT flows receives, and therefore a direct Toffoli- and
+T-count lever.
+"""
+
+from repro.opt.aig_passes import register_aig_passes
+from repro.opt.passes import Pass, PassReport
+from repro.opt.pipeline import (
+    Pipeline,
+    PipelineError,
+    PipelineResult,
+    PipelineVerificationError,
+    as_pipeline,
+    parse_pipeline,
+)
+from repro.opt.registry import (
+    UnknownPassError,
+    available_passes,
+    get_pass,
+    named_pipelines,
+    register_pass,
+    register_pipeline,
+    unregister_pass,
+)
+from repro.opt.xmg_passes import register_xmg_passes
+
+__all__ = [
+    "DEFAULT_XMG_PIPELINE",
+    "Pass",
+    "PassReport",
+    "Pipeline",
+    "PipelineError",
+    "PipelineResult",
+    "PipelineVerificationError",
+    "UnknownPassError",
+    "as_pipeline",
+    "available_passes",
+    "get_pass",
+    "named_pipelines",
+    "parse_pipeline",
+    "register_pass",
+    "register_pipeline",
+    "unregister_pass",
+]
+
+#: Name of the default XMG optimisation pipeline (registered below); the
+#: hierarchical flow's ``xmg_opt="default"`` resolves to it.
+DEFAULT_XMG_PIPELINE = "xmg-default"
+
+# Populate the registry with the built-in pass libraries and pipelines.
+register_aig_passes()
+register_xmg_passes()
+register_pipeline(
+    DEFAULT_XMG_PIPELINE,
+    "(xmg_strash;xmg_rewrite;xmg_xor;xmg_refactor)*2",
+    description="structural cleanup, Ω-rule MAJ rewriting, XOR chain "
+    "simplification and cut-based MAJ refactoring, two rounds",
+)

@@ -179,3 +179,74 @@ class TestCommands:
         )
         assert exit_code == 0
         assert "buffer.v(3)" in capsys.readouterr().out
+
+
+class TestPassManagerCli:
+    def test_passes_command_lists_passes_and_pipelines(self, capsys):
+        assert main(["passes"]) == 0
+        output = capsys.readouterr().out
+        assert "balance" in output and "xmg_refactor" in output
+        assert "xmg-default" in output
+        assert "aig" in output and "xmg" in output
+
+    def test_passes_command_network_filter(self, capsys):
+        assert main(["passes", "--network", "aig"]) == 0
+        output = capsys.readouterr().out
+        assert "balance" in output
+        assert "xmg_refactor" not in output
+
+    def test_flow_opt_override(self, capsys):
+        exit_code = main(
+            ["flow", "--flow", "esop", "--design", "intdiv", "-n", "3",
+             "--opt", "b;rw;rf"]
+        )
+        assert exit_code == 0
+        assert "T-count" in capsys.readouterr().out
+
+    def test_flow_xmg_opt_improves_t_count(self, capsys):
+        assert main(
+            ["flow", "--flow", "hierarchical", "--design", "intdiv", "-n", "3"]
+        ) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            ["flow", "--flow", "hierarchical", "--design", "intdiv", "-n", "3",
+             "--xmg-opt", "xmg-default", "--opt-guard", "full"]
+        ) == 0
+        optimized = capsys.readouterr().out
+
+        def t_count(text):
+            for line in text.splitlines():
+                if "T-count" in line:
+                    return int(line.split()[-1])
+            raise AssertionError(f"no T-count in {text!r}")
+
+        assert t_count(optimized) < t_count(plain)
+
+    def test_flow_unknown_opt_fails_with_suggestion(self, capsys):
+        exit_code = main(
+            ["flow", "--flow", "esop", "--design", "intdiv", "-n", "3",
+             "--opt", "rewritee"]
+        )
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "rewrite" in err
+
+    def test_explore_opt_sweeps_pipelines(self, capsys):
+        exit_code = main(
+            ["explore", "--design", "intdiv", "-n", "3", "--no-verify",
+             "--quiet", "--sweep", "esop:p=0",
+             "--opt", "dc2", "--opt", "b;rw;rf"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "opt=dc2" in output
+        assert "opt=b;rw;rf" in output
+
+    def test_explore_unknown_opt_fails_fast(self, capsys):
+        exit_code = main(
+            ["explore", "--design", "intdiv", "-n", "3", "--no-verify",
+             "--quiet", "--opt", "xmg_strassh"]
+        )
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "xmg_strash" in err
