@@ -58,7 +58,15 @@ def test_ablation_aig_optimization(benchmark, intdiv_aig):
         rounds=1,
         iterations=1,
     )
-    write_result("ablation_aig_optimization", text)
+    write_result(
+        "ablation_aig_optimization",
+        text,
+        metrics={
+            str(rounds): {"qubits": c.num_lines(), "t_count": c.t_count()}
+            for rounds, c in results.items()
+        },
+        config={"design": "intdiv", "bitwidth": DESIGN_N, "flow": "hierarchical"},
+    )
     assert results[2].t_count() <= results[0].t_count() * 1.2
 
 
@@ -78,6 +86,8 @@ def test_ablation_lut_size(intdiv_aig):
             rows,
             title=f"Ablation: xmglut LUT size (INTDIV({DESIGN_N}))",
         ),
+        metrics={str(k): t for k, t in t_counts.items()},
+        config={"design": "intdiv", "bitwidth": DESIGN_N, "k": [3, 4, 5]},
     )
     # All LUT sizes must produce working circuits of comparable magnitude.
     assert max(t_counts.values()) <= 4 * min(t_counts.values())
@@ -104,6 +114,13 @@ def test_ablation_esop_minimization(intdiv_aig):
             rows,
             title=f"Ablation: ESOP minimisation (INTDIV({DESIGN_N}))",
         ),
+        metrics={
+            "raw_terms": raw.num_terms(),
+            "minimized_terms": minimized.num_terms(),
+            "raw_t": raw_circuit.t_count(),
+            "minimized_t": minimized_circuit.t_count(),
+        },
+        config={"design": "intdiv", "bitwidth": DESIGN_N},
     )
     assert minimized.num_terms() <= raw.num_terms()
     assert minimized_circuit.t_count() <= raw_circuit.t_count()
@@ -125,6 +142,8 @@ def test_ablation_factoring_parameter(intdiv_aig):
             rows,
             title=f"Ablation: REVS factoring parameter (INTDIV({DESIGN_N}))",
         ),
+        metrics={str(p): t for p, t in t_by_p.items()},
+        config={"design": "intdiv", "bitwidth": DESIGN_N, "p": [0, 1, 2, 3]},
     )
     assert t_by_p[1] <= t_by_p[0] * 1.15
     rows_by_p = {row[0]: row for row in rows}
@@ -155,6 +174,11 @@ def test_ablation_tbs_bidirectional():
             rows,
             title=f"Ablation: transformation-based synthesis direction (INTDIV({n}))",
         ),
+        metrics={
+            "unidirectional_t": costs[False],
+            "bidirectional_t": costs[True],
+        },
+        config={"design": "intdiv", "bitwidth": n},
     )
     assert costs[True] <= costs[False] * 1.1
 
@@ -178,6 +202,11 @@ def test_ablation_cleanup_strategy(intdiv_aig):
             rows,
             title=f"Ablation: hierarchical cleanup strategy (INTDIV({DESIGN_N}))",
         ),
+        metrics={
+            strategy: {"qubits": c.num_lines(), "t_count": c.t_count()}
+            for strategy, c in circuits.items()
+        },
+        config={"design": "intdiv", "bitwidth": DESIGN_N},
     )
     assert circuits["per_output"].num_lines() <= circuits["bennett"].num_lines()
     assert circuits["per_output"].num_gates() >= circuits["bennett"].num_gates()
@@ -199,6 +228,13 @@ def test_ablation_post_optimization(intdiv_aig):
             rows,
             title=f"Ablation: reversible peephole optimisation (INTDIV({DESIGN_N}), hierarchical)",
         ),
+        metrics={
+            "gates_before": circuit.num_gates(),
+            "gates_after": optimized.num_gates(),
+            "t_before": circuit.t_count(),
+            "t_after": optimized.t_count(),
+        },
+        config={"design": "intdiv", "bitwidth": DESIGN_N, "flow": "hierarchical"},
     )
     assert optimized.num_gates() <= circuit.num_gates()
     assert optimized.t_count() <= circuit.t_count()

@@ -61,7 +61,18 @@ def test_design_space_report(benchmark, explorer):
         [(p.configuration, p.qubits, p.t_count) for p in front],
         title="Pareto front (qubits vs T-count)",
     )
-    write_result("design_space", text + "\n\n" + front_text)
+    write_result(
+        "design_space",
+        text + "\n\n" + front_text,
+        metrics={
+            "pareto_points": len(front),
+            "front": {
+                p.configuration: {"qubits": p.qubits, "t_count": p.t_count}
+                for p in front
+            },
+        },
+        config={"design": "intdiv", "bitwidth": BITWIDTH},
+    )
 
 
 def test_pareto_front_is_a_real_tradeoff(explorer):
@@ -131,6 +142,12 @@ def test_batch_engine_parallel_matches_serial_and_caches(benchmark, tmp_path_fac
         )
         + f"\n\ncached re-run: {cached_engine.cache_hits} hits, "
         f"{cached_engine.executed} flows executed",
+        metrics={
+            "tasks": len(tasks),
+            "cache_hits_on_rerun": cached_engine.cache_hits,
+            "flows_executed_on_rerun": cached_engine.executed,
+        },
+        config={"designs": ["intdiv", "newton"], "bitwidths": widths, "jobs": 2},
     )
 
 

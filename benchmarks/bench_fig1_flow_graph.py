@@ -22,7 +22,12 @@ def test_fig1_flow_graph_rendering(benchmark):
     text = benchmark.pedantic(flow_graph_description, rounds=1, iterations=1)
     for keyword in ("Verilog", "AIG", "BDD", "ESOP", "XMG", "Clifford+T"):
         assert keyword in text
-    write_result("fig1_flow_graph", text)
+    write_result(
+        "fig1_flow_graph",
+        text,
+        metrics={"lines": text.count("\n")},
+        config={"bitwidth": BITWIDTH},
+    )
 
 
 @pytest.mark.parametrize("flow_name", ["symbolic", "esop", "hierarchical"])

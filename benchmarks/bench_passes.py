@@ -71,7 +71,21 @@ def test_default_xmg_pipeline_maj_reduction(benchmark):
     text += "\n\nPer-pass log:\n" + "\n".join(
         "  " + report.summary() for report in outcome.reports
     )
-    write_result("xmg_pass_reduction", text)
+    write_result(
+        "xmg_pass_reduction",
+        text,
+        metrics={
+            "maj_before": xmg.num_maj(),
+            "maj_after": optimized.num_maj(),
+            "maj_reduction": round(reduction, 4),
+        },
+        config={
+            "design": "intdiv",
+            "bitwidth": BITWIDTH,
+            "pipeline": DEFAULT_XMG_PIPELINE,
+            "min_maj_reduction": MIN_MAJ_REDUCTION,
+        },
+    )
 
     assert reduction >= MIN_MAJ_REDUCTION, (
         f"MAJ reduction {100 * reduction:.1f}% below the "
@@ -126,6 +140,14 @@ def test_pipeline_cuts_t_count_across_flows(benchmark):
             rows,
             title=f"Optimisation pipelines on INTDIV({BITWIDTH}), verified",
         ),
+        metrics={
+            row[0]: {"t_off": row[1], "t_on": row[2]} for row in rows
+        },
+        config={
+            "design": "intdiv",
+            "bitwidth": BITWIDTH,
+            "pipeline": DEFAULT_XMG_PIPELINE,
+        },
     )
     benchmark.pedantic(
         run_flow,
@@ -180,6 +202,15 @@ def test_optimize_stage_wall_time_not_regressed(benchmark):
             ],
             title=f"Optimise stage wall-time on INTDIV({BITWIDTH}), resyn2 x2",
         ),
+        metrics={
+            "legacy_seconds": round(legacy_best, 4),
+            "pipeline_seconds": round(managed_best, 4),
+        },
+        config={
+            "design": "intdiv",
+            "bitwidth": BITWIDTH,
+            "max_slowdown": MAX_OPTIMIZE_SLOWDOWN,
+        },
     )
     assert managed_best <= legacy_best * MAX_OPTIMIZE_SLOWDOWN, (
         f"pipeline stage {managed_best:.3f}s vs legacy {legacy_best:.3f}s "

@@ -67,7 +67,23 @@ def test_pebbling_tradeoff_curve(benchmark):
     text += "\n\nPareto front: " + ", ".join(
         f"{p.configuration} ({p.qubits} qubits, {p.t_count} T)" for p in front
     )
-    write_result("pebbling_tradeoff", text)
+    write_result(
+        "pebbling_tradeoff",
+        text,
+        metrics={
+            "pareto_points": len(front),
+            "strategies": {
+                label: {"qubits": r.qubits, "t_count": r.t_count}
+                for label, r in reports.items()
+            },
+        },
+        config={
+            "design": "intdiv",
+            "bitwidth": BITWIDTH,
+            "k": 4,
+            "min_pareto_points": 3,
+        },
+    )
 
     # The acceptance gate: the strategy sweep genuinely explores the
     # qubit/T-count plane instead of collapsing onto one point.

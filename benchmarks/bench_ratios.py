@@ -67,7 +67,15 @@ def test_ratio_report(benchmark, ratio_rows):
         rounds=1,
         iterations=1,
     )
-    write_result("section5_ratios", text)
+    write_result(
+        "section5_ratios",
+        text,
+        metrics={
+            row[0]: {"qubit_ratio": round(row[3], 4), "t_ratio": round(row[6], 4)}
+            for row in rows
+        },
+        config={"design": "intdiv", "bitwidth": n, "baseline": "RESDIV"},
+    )
 
 
 def test_symbolic_beats_baseline_on_qubits(ratio_rows):

@@ -79,7 +79,20 @@ def test_table1_report(benchmark, table1_rows):
         rounds=1,
         iterations=1,
     )
-    write_result("table1_baselines", text)
+    write_result(
+        "table1_baselines",
+        text,
+        metrics={
+            str(row[0]): {
+                "resdiv_qubits": row[2],
+                "resdiv_t": row[4],
+                "qnewton_qubits": row[6],
+                "qnewton_t": row[8],
+            }
+            for row in table1_rows
+        },
+        config={"bitwidths": _bitwidths()},
+    )
 
     for row in table1_rows:
         n, paper_rq, our_rq, paper_rt, our_rt, paper_qq, our_qq, paper_qt, our_qt = row

@@ -62,7 +62,18 @@ def test_table2_report(benchmark, table2_reports):
         rounds=1,
         iterations=1,
     )
-    write_result("table2_symbolic", text)
+    write_result(
+        "table2_symbolic",
+        text,
+        metrics={
+            design: {
+                str(r.bitwidth): {"qubits": r.qubits, "t_count": r.t_count}
+                for r in reports
+            }
+            for design, reports in table2_reports.items()
+        },
+        config={"flow": "symbolic", "bitwidths": _bitwidths()},
+    )
     assert "INTDIV qubits" in text
 
 

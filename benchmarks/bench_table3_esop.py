@@ -69,7 +69,18 @@ def test_table3_report(benchmark, table3_reports):
         rounds=1,
         iterations=1,
     )
-    write_result("table3_esop", text)
+    write_result(
+        "table3_esop",
+        text,
+        metrics={
+            label: {
+                str(r.bitwidth): {"qubits": r.qubits, "t_count": r.t_count}
+                for r in reports
+            }
+            for label, reports in table3_reports.items()
+        },
+        config={"flow": "esop", "bitwidths": _bitwidths(), "p": [0, 1]},
+    )
     assert "INTDIV p=0 qubits" in text
 
 

@@ -70,7 +70,22 @@ def test_table4_report(benchmark, table4_reports):
         rounds=1,
         iterations=1,
     )
-    write_result("table4_hierarchical", text)
+    write_result(
+        "table4_hierarchical",
+        text,
+        metrics={
+            design: {
+                str(r.bitwidth): {"qubits": r.qubits, "t_count": r.t_count}
+                for r in reports
+            }
+            for design, reports in table4_reports.items()
+        },
+        config={
+            "flow": "hierarchical",
+            "intdiv_bitwidths": _intdiv_bitwidths(),
+            "newton_bitwidths": _newton_bitwidths(),
+        },
+    )
     assert "INTDIV qubits" in text
 
 

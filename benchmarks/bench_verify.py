@@ -89,7 +89,22 @@ def test_bit_parallel_vs_per_input(benchmark):
             f"({num_patterns} patterns)"
         ),
     )
-    write_result("verify_bit_parallel", text)
+    write_result(
+        "verify_bit_parallel",
+        text,
+        metrics={
+            "circuit_speedup": round(circuit_speedup, 2),
+            "aig_speedup": round(aig_speedup, 2),
+            "circuit_gates": circuit.num_gates(),
+            "aig_ands": aig.num_nodes(),
+        },
+        config={
+            "design": "intdiv",
+            "bitwidth": BITWIDTH,
+            "patterns": num_patterns,
+            "min_speedup": 10.0,
+        },
+    )
 
     # The acceptance bar of the subsystem: >= 10x on an 8-input design.
     assert circuit_speedup >= 10.0, f"only {circuit_speedup:.1f}x on the circuit"

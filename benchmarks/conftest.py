@@ -7,6 +7,11 @@ writes its table to ``benchmarks/results/<name>.txt`` and echoes it to
 stdout; run with ``pytest benchmarks/ --benchmark-only -s`` to see the
 tables inline.
 
+Next to every table a machine-readable ``BENCH_<name>.json`` is written —
+the bench's key metrics plus a timestamp-free echo of the configuration
+that produced them — so the performance trajectory is diffable across
+commits and collectable as a CI artifact.
+
 Environment knobs:
 
 * ``REPRO_BENCH_LARGE=1``  — also run the larger bit-widths (closer to the
@@ -17,8 +22,10 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
+from typing import Any, Dict, Optional
 
 import pytest
 
@@ -35,12 +42,31 @@ def verification_enabled() -> bool:
     return os.environ.get("REPRO_BENCH_VERIFY", "0") == "1"
 
 
-def write_result(name: str, text: str) -> None:
-    """Persist a paper-style table under ``benchmarks/results`` and print it."""
+def write_result(
+    name: str,
+    text: str,
+    metrics: Optional[Dict[str, Any]] = None,
+    config: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Persist one bench result: a paper-style table plus machine JSON.
+
+    ``metrics`` are the bench's headline numbers (gate counts, speedups,
+    ...); ``config`` echoes the knobs that produced them (bit-widths,
+    thresholds).  Both land in ``BENCH_<name>.json`` without any
+    timestamp, so two runs of an unchanged tree write byte-identical
+    files and the perf trajectory diffs cleanly across commits.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
-    print(f"\n[{name}] written to {path}\n{text}")
+    payload = {
+        "bench": name,
+        "config": dict(config or {}),
+        "metrics": dict(metrics or {}),
+    }
+    json_path = RESULTS_DIR / f"BENCH_{name}.json"
+    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[{name}] written to {path} (+ {json_path.name})\n{text}")
 
 
 @pytest.fixture(scope="session")

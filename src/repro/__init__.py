@@ -19,7 +19,8 @@ The package is organised in layers that mirror Fig. 1 of the paper:
 
 ``repro.quantum``
     Quantum level: Clifford+T mapping of multiple-controlled Toffoli gates
-    and T-count cost models.
+    (Barenco chains or 4-T relative-phase Toffolis), T-count cost models
+    and the resource estimator (T-depth, circuit depth, gate histograms).
 
 ``repro.arith`` / ``repro.baselines``
     Reversible arithmetic building blocks (Cuccaro adders, restoring
@@ -70,9 +71,11 @@ from repro.opt import (
     parse_pipeline,
     register_pass,
 )
+from repro.quantum import ResourceEstimate, estimate_resources, map_to_clifford_t
 from repro.verify.differential import (
     DifferentialResult,
     check_equivalent,
+    check_quantum_equivalent,
     mapped_circuit_simulator,
 )
 
@@ -88,16 +91,20 @@ __all__ = [
     "ParetoPoint",
     "Pass",
     "Pipeline",
+    "ResourceEstimate",
     "ResultCache",
     "available_flows",
     "available_passes",
     "build_sweep",
     "check_equivalent",
+    "check_quantum_equivalent",
     "esop_flow",
+    "estimate_resources",
     "frontend_artifacts",
     "hierarchical_flow",
     "intdiv_verilog",
     "lut_flow",
+    "map_to_clifford_t",
     "mapped_circuit_simulator",
     "newton_verilog",
     "pareto_front_of",

@@ -8,7 +8,12 @@ Examples::
         --opt "resyn2*3" --xmg-opt xmg-default         # pipeline overrides
     python -m repro flow --flow lut --design intdiv -n 8 -k 4 \
         --strategy bounded --max-pebbles 64            # LUT pebbling flow
+    python -m repro flow --flow esop --design intdiv -n 8 \
+        --rev-opt rev-default --map-model rtof         # peephole + T-depth
     python -m repro passes                             # list optimisation passes
+    python -m repro passes --target qc                 # Clifford+T passes only
+    python -m repro explore --design intdiv -n 8 --rev-opt none \
+        --rev-opt rev-default                          # peephole sweep
     python -m repro explore --design intdiv -n 6
     python -m repro explore --flow lut --design intdiv -n 8   # strategy sweep
     python -m repro explore --design intdiv -n 8 --opt "dc2*2" --opt "b;rw;rf"
@@ -149,6 +154,22 @@ def build_parser() -> argparse.ArgumentParser:
         "round-trip), e.g. 'xmg-default' (default: disabled)",
     )
     flow.add_argument(
+        "--rev-opt", metavar="PIPELINE",
+        help="reversible peephole pipeline applied to the synthesised "
+        "cascade, e.g. 'rev-default' or 'rt;rn;rc' (default: disabled)",
+    )
+    flow.add_argument(
+        "--map-model", choices=["rtof", "barenco"],
+        help="map the cascade to an explicit Clifford+T circuit under this "
+        "decomposition model and report T-depth/depth resource metrics "
+        "(default: no mapping)",
+    )
+    flow.add_argument(
+        "--qc-opt", metavar="PIPELINE",
+        help="Clifford+T peephole pipeline applied to the mapped circuit "
+        "(requires --map-model), e.g. 'qc-default' (default: disabled)",
+    )
+    flow.add_argument(
         "--opt-guard", choices=["off", "sampled", "full", "auto"],
         default="off",
         help="differentially check every optimisation pass application "
@@ -157,7 +178,11 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--no-verify", action="store_true", help="skip equivalence checking")
     flow.add_argument("--cost-model", default="rtof", choices=["rtof", "barenco"])
     flow.add_argument("--real", type=Path, help="write the reversible circuit as RevLib .real")
-    flow.add_argument("--qasm", type=Path, help="map to Clifford+T and write OpenQASM 2.0")
+    flow.add_argument(
+        "--qasm", type=Path,
+        help="map to Clifford+T (under --map-model, default rtof) and "
+        "write OpenQASM 2.0",
+    )
 
     explore = subparsers.add_parser("explore", help="design space exploration")
     explore.add_argument(
@@ -208,6 +233,12 @@ def build_parser() -> argparse.ArgumentParser:
         "repeat to sweep pipelines (e.g. --opt 'dc2*2' --opt 'b;rw;rf')",
     )
     explore.add_argument(
+        "--rev-opt", action="append", default=[], metavar="PIPELINE",
+        help="reversible peephole pipeline applied to every configuration; "
+        "repeat to sweep pipelines (e.g. --rev-opt none --rev-opt "
+        "rev-default)",
+    )
+    explore.add_argument(
         "--no-shared-frontend", action="store_true",
         help="bit-blast per configuration instead of once per design instance",
     )
@@ -255,12 +286,15 @@ def build_parser() -> argparse.ArgumentParser:
         "passes",
         help="list registered optimisation passes and named pipelines",
         description="Every pass the pass manager knows, with its aliases, "
-        "the network types it applies to (aig / xmg) and the named "
-        "pipelines usable in --opt specs.",
+        "the target types it applies to (aig / xmg / rev / qc) and the "
+        "named pipelines usable in --opt/--xmg-opt/--rev-opt/--qc-opt "
+        "specs.",
     )
     passes.add_argument(
-        "--network", choices=["aig", "xmg"],
-        help="only list passes applicable to this network type",
+        "--target", "--network", dest="target",
+        choices=["aig", "xmg", "rev", "qc"],
+        help="only list passes applicable to this target type "
+        "(--network is the historical spelling)",
     )
 
     designs = subparsers.add_parser("designs", help="print generated Verilog for a built-in design")
@@ -294,14 +328,25 @@ def _validate_pipeline_specs(*specs: Optional[str]) -> Optional[str]:
 
 def _command_flow(args: argparse.Namespace) -> int:
     parameters = {}
-    error = _validate_pipeline_specs(args.opt, args.xmg_opt)
+    error = _validate_pipeline_specs(
+        args.opt, args.xmg_opt, args.rev_opt, args.qc_opt
+    )
     if error is not None:
         print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.qc_opt is not None and args.map_model is None:
+        print("error: --qc-opt requires --map-model", file=sys.stderr)
         return 2
     if args.opt is not None:
         parameters["opt"] = args.opt
     if args.xmg_opt is not None:
         parameters["xmg_opt"] = args.xmg_opt
+    if args.rev_opt is not None:
+        parameters["rev_opt"] = args.rev_opt
+    if args.map_model is not None:
+        parameters["map_model"] = args.map_model
+    if args.qc_opt is not None:
+        parameters["qc_opt"] = args.qc_opt
     if args.opt_guard != "off":
         parameters["opt_guard"] = args.opt_guard
     if args.flow == "esop":
@@ -351,13 +396,23 @@ def _command_flow(args: argparse.Namespace) -> int:
         ("runtime [s]", f"{report.runtime_seconds:.3f}"),
         ("verified", report.verified),
     ]
+    if report.t_depth is not None:
+        rows[5:5] = [
+            ("T-depth", report.t_depth),
+            ("circuit depth", report.qc_depth),
+            ("mapped qubits", report.qc_qubits),
+        ]
     print(format_table(["metric", "value"], rows))
 
     if args.real is not None:
         args.real.write_text(write_real(result.circuit))
         print(f"wrote {args.real}")
     if args.qasm is not None:
-        quantum = map_to_clifford_t(result.circuit)
+        quantum = result.context.get("quantum_circuit")
+        if quantum is None:
+            quantum = map_to_clifford_t(
+                result.circuit, model=args.map_model or "rtof"
+            )
         args.qasm.write_text(write_qasm(quantum))
         print(f"wrote {args.qasm} ({quantum.num_qubits} qubits, {quantum.t_count()} T)")
     return 0
@@ -376,8 +431,13 @@ def _command_explore(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if args.opt:
-        error = _validate_pipeline_specs(*args.opt)
+    # Cross the configuration list with every requested pipeline sweep
+    # (--opt for the AIG stage, --rev-opt for the reversible cascade).
+    crossed = False
+    for parameter, specs in (("opt", args.opt), ("rev_opt", args.rev_opt)):
+        if not specs:
+            continue
+        error = _validate_pipeline_specs(*specs)
         if error is not None:
             print(f"error: {error}", file=sys.stderr)
             return 2
@@ -388,10 +448,23 @@ def _command_explore(args: argparse.Namespace) -> int:
             else:
                 expanded.append(entry)
         configurations = [
-            configuration.with_parameter("opt", spec)
-            for spec in args.opt
+            configuration.with_parameter(parameter, spec)
+            for spec in specs
             for configuration in expanded
         ]
+        crossed = True
+    if crossed:
+        # Crossing can collide with sweep points that already carried the
+        # parameter (the default sweeps ship rev_opt points): run each
+        # distinct configuration once, keeping first-seen order.
+        seen = set()
+        unique = []
+        for configuration in configurations:
+            key = (configuration.flow, tuple(sorted(configuration.parameters)))
+            if key not in seen:
+                seen.add(key)
+                unique.append(configuration)
+        configurations = unique
     tasks = build_sweep(designs, bitwidths, configurations)
 
     progress = {"done": 0}
@@ -565,11 +638,11 @@ def _command_passes(args: argparse.Namespace) -> int:
             "/".join(sorted(pass_.network_types)),
             pass_.description,
         )
-        for pass_ in available_passes(args.network)
+        for pass_ in available_passes(args.target)
     ]
     print(
         format_table(
-            ["pass", "aliases", "networks", "description"],
+            ["pass", "aliases", "targets", "description"],
             rows,
             title="Registered optimisation passes",
         )
@@ -578,14 +651,14 @@ def _command_passes(args: argparse.Namespace) -> int:
     for name, (spec, description) in sorted(named_pipelines().items()):
         pipeline = parse_pipeline(name)
         networks = "/".join(sorted(pipeline.network_types()))
-        if args.network is not None and args.network not in networks.split("/"):
+        if args.target is not None and args.target not in networks.split("/"):
             continue
         pipeline_rows.append((name, networks, spec, description))
     if pipeline_rows:
         print()
         print(
             format_table(
-                ["pipeline", "networks", "expands to", "description"],
+                ["pipeline", "targets", "expands to", "description"],
                 pipeline_rows,
                 title="Named pipelines",
             )

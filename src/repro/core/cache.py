@@ -32,12 +32,13 @@ from repro.core.cost import CostReport
 __all__ = ["ResultCache", "cache_key"]
 
 #: Bump to invalidate all existing cache entries when the meaning of a
-#: report (or of a flow) changes incompatibly.  Version 4: the optimise
-#: stages are pass-manager pipelines (``opt`` / ``xmg_opt`` parameters
-#: key every entry; best-result tracking is lexicographic on
-#: ``(gates, depth)``) and the hierarchical flow gained the ``xmg-opt``
-#: stage.
-CACHE_FORMAT_VERSION = 4
+#: report (or of a flow) changes incompatibly.  Version 5: every flow
+#: gained the ``rev-opt`` (reversible peephole pipeline) and ``resources``
+#: (explicit Clifford+T mapping via ``map_model``, T-depth/depth metrics)
+#: stages, reports carry the ``t_depth`` / ``qc_depth`` / ``qc_qubits``
+#: fields, and the explicit mapping defaults to the 4-T relative-phase
+#: Toffoli chains.
+CACHE_FORMAT_VERSION = 5
 
 
 def _canonical_parameters(parameters: Any) -> Any:

@@ -2,15 +2,22 @@
 
 Every flow run produces a :class:`CostReport` holding the number of qubits,
 the T-count (under a selectable cost model), the gate count, the largest
-control count and the flow runtime — the columns of Tables I-IV.
+control count and the flow runtime — the columns of Tables I-IV.  When the
+flow also maps the cascade to an explicit Clifford+T circuit (the
+``map_model`` flow parameter), the quantum resource vector — T-depth,
+total circuit depth and the mapped qubit count, cf.
+:mod:`repro.quantum.resources` — joins the report as first-class metrics.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.reversible.circuit import ReversibleCircuit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.quantum.resources import ResourceEstimate
 
 __all__ = ["CostReport"]
 
@@ -28,6 +35,13 @@ class CostReport:
     max_controls: int
     runtime_seconds: float
     verified: Optional[bool] = None
+    #: Greedy T-depth of the explicit Clifford+T mapping (``None`` when the
+    #: flow did not map; cf. :func:`repro.quantum.resources.estimate_resources`).
+    t_depth: Optional[int] = None
+    #: Total depth of the explicit Clifford+T mapping.
+    qc_depth: Optional[int] = None
+    #: Qubit count of the explicit mapping (lines + shared clean ancillas).
+    qc_qubits: Optional[int] = None
     extra: Dict[str, float] = field(default_factory=dict)
 
     @classmethod
@@ -40,9 +54,23 @@ class CostReport:
         runtime_seconds: float,
         model: str = "rtof",
         verified: Optional[bool] = None,
+        resources: Optional["ResourceEstimate"] = None,
         extra: Optional[Dict[str, float]] = None,
     ) -> "CostReport":
-        """Measure a reversible circuit and build the report."""
+        """Measure a reversible circuit and build the report.
+
+        ``resources`` optionally carries the estimate of the explicit
+        Clifford+T mapping (produced by the flows' resources stage); its
+        T-depth, total depth and qubit count become first-class report
+        fields and its gate histogram lands in ``extra``.
+        """
+        extra = dict(extra or {})
+        t_depth = qc_depth = qc_qubits = None
+        if resources is not None:
+            t_depth = resources.t_depth
+            qc_depth = resources.depth
+            qc_qubits = resources.num_qubits
+            extra.setdefault("qc_gates", resources.num_gates)
         return cls(
             design=design,
             flow=flow,
@@ -53,7 +81,10 @@ class CostReport:
             max_controls=circuit.max_controls(),
             runtime_seconds=runtime_seconds,
             verified=verified,
-            extra=dict(extra or {}),
+            t_depth=t_depth,
+            qc_depth=qc_depth,
+            qc_qubits=qc_qubits,
+            extra=extra,
         )
 
     def to_dict(self) -> Dict[str, Any]:

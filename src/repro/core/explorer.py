@@ -117,11 +117,17 @@ def default_configurations() -> List[FlowConfiguration]:
 #: Default per-flow sweeps (the CLI's ``explore --flow`` argument).  The
 #: ``lut`` entries sweep the pebbling strategies; the ``bounded`` budgets
 #: are fractions of the LUT count so one sweep fits designs of any size.
+#: Each flow also carries one ``rev_opt`` point, so the default sweeps
+#: probe the reversible peephole pipeline next to the structural knobs.
 _FLOW_DEFAULT_CONFIGURATIONS: Dict[str, List[FlowConfiguration]] = {
-    "symbolic": [FlowConfiguration("symbolic")],
+    "symbolic": [
+        FlowConfiguration("symbolic"),
+        FlowConfiguration("symbolic", (("rev_opt", "rev-default"),)),
+    ],
     "esop": [
         FlowConfiguration("esop", (("p", 0),)),
         FlowConfiguration("esop", (("p", 1),)),
+        FlowConfiguration("esop", (("p", 0), ("rev_opt", "rev-default"))),
     ],
     "hierarchical": [
         FlowConfiguration("hierarchical", (("strategy", "bennett"),)),
@@ -134,11 +140,22 @@ _FLOW_DEFAULT_CONFIGURATIONS: Dict[str, List[FlowConfiguration]] = {
             "hierarchical",
             (("strategy", "per_output"), ("xmg_opt", "xmg-default")),
         ),
+        FlowConfiguration(
+            "hierarchical",
+            (
+                ("strategy", "bennett"),
+                ("xmg_opt", "xmg-default"),
+                ("rev_opt", "rev-default"),
+            ),
+        ),
     ],
     "lut": [
         FlowConfiguration("lut", (("strategy", "bennett"),)),
         FlowConfiguration(
             "lut", (("strategy", "bennett"), ("xmg_opt", "xmg-default"))
+        ),
+        FlowConfiguration(
+            "lut", (("strategy", "bennett"), ("rev_opt", "rev-default"))
         ),
         FlowConfiguration("lut", (("strategy", "eager"),)),
         FlowConfiguration("lut", (("strategy", "bounded"), ("max_pebbles", 0.25))),

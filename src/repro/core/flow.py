@@ -118,6 +118,7 @@ class Flow:
             runtime_seconds=total_runtime,
             model=self.cost_model,
             verified=context.get("verified"),
+            resources=context.get("resources"),
             extra=context.get("extra_metrics"),
         )
         return FlowResult(

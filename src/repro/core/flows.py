@@ -17,8 +17,12 @@ synthesis and hands the result to one of the reversible synthesis back-ends:
   budget), and per-LUT ESOP/TBS synthesis of each schedule step (the
   paper's LUT-based hierarchical synthesis).
 
-All flows optionally verify the produced circuit against the bit-blasted
-design (ABC ``cec`` analogue) and report qubits, T-count and runtime.
+All flows share a common tail: an optional reversible peephole pipeline
+(``rev_opt``, e.g. ``"rev-default"``) over the synthesised cascade,
+differential verification against the bit-blasted design (ABC ``cec``
+analogue), and an optional explicit Clifford+T mapping (``map_model``,
+``"rtof"`` / ``"barenco"``) whose resource vector — T-count, T-depth,
+total depth, mapped qubits — joins the cost report.
 """
 
 from __future__ import annotations
@@ -172,13 +176,80 @@ def _stage_xmg_opt(context: Dict[str, Any]) -> None:
     }
 
 
-def _stage_post_optimize(context: Dict[str, Any]) -> None:
-    """Optional peephole optimisation of the synthesised cascade."""
-    if not context.get("post_optimize", False):
-        return
-    from repro.reversible.optimize import optimize_circuit
+def _stage_rev_opt(context: Dict[str, Any]) -> None:
+    """Optional peephole optimisation of the synthesised cascade.
 
-    context["circuit"] = optimize_circuit(context["circuit"])
+    ``rev_opt`` is a pass-manager pipeline spec over the ``rev`` target —
+    e.g. ``"rev-default"`` (trivial-gate removal, NOT merging and
+    cancellation to a fixed point) or any combination of ``rt`` / ``rn`` /
+    ``rc`` — executed with keep-best tracking under the lexicographic
+    ``(T-count, gates)`` objective and the optional per-pass differential
+    guard (``opt_guard``).  The historical boolean ``post_optimize``
+    parameter maps to the default pipeline.
+    """
+    spec = context.get("rev_opt")
+    if spec is None and context.get("post_optimize", False):
+        spec = "rev-default"
+    pipeline = as_pipeline(spec)
+    if not len(pipeline):
+        return
+    before = context["circuit"]
+    result = pipeline.run(before, guard=context.get("opt_guard", "off"))
+    context["circuit"] = result.network
+    context["rev_opt_reports"] = result.reports
+    context["extra_metrics"] = {
+        **context.get("extra_metrics", {}),
+        "rev_opt_pipeline": str(pipeline),
+        "rev_opt_gates_before": before.num_gates(),
+        "rev_opt_gates": result.network.num_gates(),
+    }
+
+
+def _stage_resources(context: Dict[str, Any]) -> None:
+    """Optional explicit Clifford+T mapping and resource estimation.
+
+    ``map_model`` selects the decomposition model (``"rtof"`` — 4-T
+    relative-phase Toffoli chains — or ``"barenco"``); the cascade is
+    expanded into an explicit Clifford+T circuit whose per-gate T-count is
+    asserted against the closed forms of :mod:`repro.quantum.tcount`, an
+    optional ``qc_opt`` peephole pipeline (e.g. ``"qc-default"``) runs on
+    the mapped circuit, and the resulting
+    :class:`~repro.quantum.resources.ResourceEstimate` joins the flow's
+    :class:`~repro.core.cost.CostReport` (T-depth, total depth, mapped
+    qubits).  Skipped entirely when ``map_model`` is unset, so flows only
+    pay for the expansion when asked.
+    """
+    model = context.get("map_model")
+    if model is None:
+        return
+    from repro.quantum.mapping import map_to_clifford_t
+    from repro.quantum.resources import estimate_resources
+    from repro.verify.differential import QUANTUM_EQUIV_QUBIT_LIMIT
+
+    quantum = map_to_clifford_t(context["circuit"], model=model)
+    qc_pipeline = as_pipeline(context.get("qc_opt"))
+    if len(qc_pipeline):
+        # The quantum guard compares full statevectors — exponential in
+        # qubits.  An explicit ``qc_opt_guard`` is always honoured (and
+        # raises loudly when infeasible); otherwise the stage inherits
+        # ``opt_guard`` whenever the mapped circuit is small enough for
+        # the statevector checker.
+        guard = context.get("qc_opt_guard")
+        if guard is None:
+            guard = context.get("opt_guard", "off")
+            if quantum.num_qubits > QUANTUM_EQUIV_QUBIT_LIMIT:
+                guard = "off"
+        result = qc_pipeline.run(quantum, guard=guard)
+        quantum = result.network
+        context["qc_opt_reports"] = result.reports
+    estimate = estimate_resources(quantum)
+    context["quantum_circuit"] = quantum
+    context["resources"] = estimate
+    context["extra_metrics"] = {
+        **context.get("extra_metrics", {}),
+        "map_model": model,
+        "qc_t_count": estimate.t_count,
+    }
 
 
 def _stage_verify(context: Dict[str, Any]) -> None:
@@ -247,8 +318,9 @@ def symbolic_flow(cost_model: str = "rtof", optimization_rounds: int = 2) -> Flo
             FlowStage("collapse", _stage_collapse_bdd),
             FlowStage("embed", _stage_embed),
             FlowStage("tbs", _stage_tbs),
-            FlowStage("post-optimize", _stage_post_optimize),
+            FlowStage("rev-opt", _stage_rev_opt),
             FlowStage("verify", _stage_verify),
+            FlowStage("resources", _stage_resources),
         ],
         cost_model=cost_model,
     )
@@ -284,8 +356,9 @@ def esop_flow(cost_model: str = "rtof", optimization_rounds: int = 1) -> Flow:
             _make_optimize_stage("dc2", optimization_rounds),
             FlowStage("exorcism", _stage_esop_extract),
             FlowStage("esop-synthesis", _stage_esop_synthesis),
-            FlowStage("post-optimize", _stage_post_optimize),
+            FlowStage("rev-opt", _stage_rev_opt),
             FlowStage("verify", _stage_verify),
+            FlowStage("resources", _stage_resources),
         ],
         cost_model=cost_model,
     )
@@ -328,8 +401,9 @@ def hierarchical_flow(cost_model: str = "rtof", optimization_rounds: int = 2) ->
             FlowStage("xmglut", _stage_xmg_map),
             FlowStage("xmg-opt", _stage_xmg_opt),
             FlowStage("hierarchical-synthesis", _stage_hierarchical),
-            FlowStage("post-optimize", _stage_post_optimize),
+            FlowStage("rev-opt", _stage_rev_opt),
             FlowStage("verify", _stage_verify),
+            FlowStage("resources", _stage_resources),
         ],
         cost_model=cost_model,
     )
@@ -437,8 +511,9 @@ def lut_flow(cost_model: str = "rtof", optimization_rounds: int = 2) -> Flow:
             FlowStage("lut-map", _stage_lut_map),
             FlowStage("pebble", _stage_pebble),
             FlowStage("lut-synthesis", _stage_lut_synthesis),
-            FlowStage("post-optimize", _stage_post_optimize),
+            FlowStage("rev-opt", _stage_rev_opt),
             FlowStage("verify", _stage_verify),
+            FlowStage("resources", _stage_resources),
         ],
         cost_model=cost_model,
     )
@@ -476,8 +551,16 @@ def run_flow(
     ``lut_synth``, ``bidirectional``, ``verilog``, ``verify_samples``,
     ``opt`` — an AIG pipeline spec such as ``"b;rw;rf"`` or ``"none"`` —
     ``xmg_opt`` — an XMG pipeline spec such as ``"xmg-default"`` for the
-    hierarchical flow — and ``opt_guard``, the per-pass equivalence guard
-    mode, ...).
+    hierarchical flow — ``rev_opt`` — a reversible peephole pipeline spec
+    such as ``"rev-default"``, run on the synthesised cascade of every
+    flow — ``map_model`` — ``"rtof"`` or ``"barenco"``, enabling the
+    explicit Clifford+T mapping and folding T-depth/depth resource metrics
+    into the report — ``qc_opt`` — a Clifford+T peephole pipeline spec
+    such as ``"qc-default"``, run on the mapped circuit — ``opt_guard``,
+    the per-pass equivalence guard mode shared by every pipeline stage —
+    and ``qc_opt_guard``, overriding the guard for the ``qc_opt``
+    pipeline only (without it, ``opt_guard`` applies whenever the mapped
+    circuit fits the statevector checker's qubit limit), ...).
     """
     if flow not in _FLOW_FACTORIES:
         raise ValueError(

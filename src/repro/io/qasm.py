@@ -1,31 +1,26 @@
-"""OpenQASM 2.0 writer for Clifford+T circuits.
+"""OpenQASM 2.0 writer and reader for Clifford+T circuits.
 
 The quantum level of the flow can be exported to OpenQASM 2.0, the common
 interchange format of Qiskit and friends, so that the circuits produced by
-this reproduction can be simulated or transpiled elsewhere.  Only a writer
-is provided (reading arbitrary QASM is outside the scope of the paper).
+this reproduction can be simulated or transpiled elsewhere.  The reader
+(:func:`parse_qasm`) accepts exactly the subset the writer emits — the full
+Clifford+T gate vocabulary of :data:`repro.quantum.circuit.SUPPORTED_GATES`
+over a single quantum register — so export/parse round-trips losslessly
+(property-tested over the whole vocabulary, including every gate the
+relative-phase-Toffoli mapping emits).
 """
 
 from __future__ import annotations
 
+import re
 from typing import Dict
 
-from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.circuit import SUPPORTED_GATES, QuantumCircuit
 
-__all__ = ["write_qasm"]
+__all__ = ["parse_qasm", "write_qasm"]
 
 
-_QASM_NAMES: Dict[str, str] = {
-    "x": "x",
-    "z": "z",
-    "h": "h",
-    "s": "s",
-    "sdg": "sdg",
-    "t": "t",
-    "tdg": "tdg",
-    "cx": "cx",
-    "cz": "cz",
-}
+_QASM_NAMES: Dict[str, str] = {name: name for name in SUPPORTED_GATES}
 
 
 def write_qasm(circuit: QuantumCircuit, register: str = "q") -> str:
@@ -42,3 +37,61 @@ def write_qasm(circuit: QuantumCircuit, register: str = "q") -> str:
         operands = ", ".join(f"{register}[{qubit}]" for qubit in gate.qubits)
         lines.append(f"{name} {operands};")
     return "\n".join(lines) + "\n"
+
+
+_QREG = re.compile(r"qreg\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(?P<size>\d+)\s*\]$")
+_OPERAND = re.compile(r"^(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(?P<index>\d+)\s*\]$")
+
+
+def parse_qasm(text: str) -> QuantumCircuit:
+    """Parse OpenQASM 2.0 text produced by :func:`write_qasm`.
+
+    Inverse of the writer over the supported gate vocabulary: one quantum
+    register, no classical registers, no gate definitions.  Raises
+    :class:`ValueError` on anything outside that subset (unknown gates,
+    multiple registers, out-of-range qubit operands), with the offending
+    line in the message.
+    """
+    register = None
+    num_qubits = 0
+    circuit = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("//", 1)[0].strip()
+        if not line:
+            continue
+        if not line.endswith(";"):
+            raise ValueError(f"missing ';' in QASM line {raw_line!r}")
+        statement = line[:-1].strip()
+        if statement.startswith("OPENQASM") or statement.startswith("include"):
+            continue
+        if statement.startswith("qreg"):
+            match = _QREG.match(statement)
+            if match is None:
+                raise ValueError(f"cannot parse register declaration {raw_line!r}")
+            if register is not None:
+                raise ValueError("multiple quantum registers are not supported")
+            register = match.group("name")
+            num_qubits = int(match.group("size"))
+            circuit = QuantumCircuit(num_qubits, name=register)
+            continue
+        if circuit is None:
+            raise ValueError(f"gate before any qreg declaration: {raw_line!r}")
+        name, _, operand_text = statement.partition(" ")
+        if name not in SUPPORTED_GATES:
+            raise ValueError(f"unsupported gate {name!r} in {raw_line!r}")
+        qubits = []
+        for operand in operand_text.split(","):
+            match = _OPERAND.match(operand.strip())
+            if match is None or match.group("name") != register:
+                raise ValueError(f"cannot parse operand in {raw_line!r}")
+            index = int(match.group("index"))
+            if index >= num_qubits:
+                raise ValueError(
+                    f"qubit {index} out of range for {register}[{num_qubits}] "
+                    f"in {raw_line!r}"
+                )
+            qubits.append(index)
+        circuit.add(name, *qubits)
+    if circuit is None:
+        raise ValueError("QASM text declares no quantum register")
+    return circuit

@@ -21,13 +21,22 @@ first-class subsystem:
     the flows (``--opt``) and the exploration engine enumerate; unknown
     names fail with a did-you-mean suggestion.
 
+Passes declare a target type — ``aig`` / ``xmg`` (the
+:class:`~repro.logic.network.LogicNetwork` protocol), ``rev`` (reversible
+Toffoli cascades) or ``qc`` (explicit Clifford+T circuits) — and one
+pipeline engine serves all four through the dispatch layer of
+:mod:`~repro.opt.targets`, so every layer of the flow below the AIG is
+optimised, guarded and swept through the same interface.
+
 The AIG passes (:mod:`~repro.opt.aig_passes`) wrap the historical
 :mod:`repro.logic.aig_opt` scripts; the XMG library
 (:mod:`~repro.opt.xmg_passes`) adds structural strashing, algebraic
 Ω-rule MAJ rewriting, XOR chain simplification and cut-based MAJ-count
-refactoring — the first optimisation the MAJ/XOR structure feeding the
-hierarchical and LUT flows receives, and therefore a direct Toffoli- and
-T-count lever.
+refactoring; the reversible library (:mod:`~repro.opt.rev_passes`)
+registers the cascade peepholes (cancellation, NOT merging, trivial-gate
+removal) under the ``(T-count, gates)`` objective; and the Clifford+T
+library (:mod:`~repro.opt.qc_passes`) cancels involutions/inverse pairs
+and folds phase rotations on the mapped circuits themselves.
 """
 
 from repro.opt.aig_passes import register_aig_passes
@@ -40,6 +49,12 @@ from repro.opt.pipeline import (
     as_pipeline,
     parse_pipeline,
 )
+from repro.opt.qc_passes import (
+    DEFAULT_QC_PIPELINE,
+    qc_cancel,
+    qc_merge,
+    register_qc_passes,
+)
 from repro.opt.registry import (
     UnknownPassError,
     available_passes,
@@ -49,9 +64,19 @@ from repro.opt.registry import (
     register_pipeline,
     unregister_pass,
 )
+from repro.opt.rev_passes import DEFAULT_REV_PIPELINE, register_rev_passes
+from repro.opt.targets import (
+    TARGET_KINDS,
+    target_copy,
+    target_cost,
+    target_kind,
+    target_stats,
+)
 from repro.opt.xmg_passes import register_xmg_passes
 
 __all__ = [
+    "DEFAULT_QC_PIPELINE",
+    "DEFAULT_REV_PIPELINE",
     "DEFAULT_XMG_PIPELINE",
     "Pass",
     "PassReport",
@@ -59,14 +84,21 @@ __all__ = [
     "PipelineError",
     "PipelineResult",
     "PipelineVerificationError",
+    "TARGET_KINDS",
     "UnknownPassError",
     "as_pipeline",
     "available_passes",
     "get_pass",
     "named_pipelines",
     "parse_pipeline",
+    "qc_cancel",
+    "qc_merge",
     "register_pass",
     "register_pipeline",
+    "target_copy",
+    "target_cost",
+    "target_kind",
+    "target_stats",
     "unregister_pass",
 ]
 
@@ -77,6 +109,8 @@ DEFAULT_XMG_PIPELINE = "xmg-default"
 # Populate the registry with the built-in pass libraries and pipelines.
 register_aig_passes()
 register_xmg_passes()
+register_rev_passes()
+register_qc_passes()
 register_pipeline(
     DEFAULT_XMG_PIPELINE,
     "(xmg_strash;xmg_rewrite;xmg_xor;xmg_refactor)*2",

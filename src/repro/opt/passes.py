@@ -1,30 +1,28 @@
 """The :class:`Pass` object model of the pass manager.
 
-A pass is a *purely functional* network transformation: it receives a
-:class:`~repro.logic.network.LogicNetwork`, returns a new network of the
-same type and never mutates its input.  The class wraps the bare function
-with the metadata the registry, the pipelines and the CLI need — name,
-aliases, applicable network types, a one-line description — and with
-uniform before/after accounting (:class:`PassReport`).
+A pass is a *purely functional* transformation of an optimisation target:
+it receives a target — a :class:`~repro.logic.network.LogicNetwork`
+(``aig`` / ``xmg``), a reversible Toffoli cascade (``rev``) or an explicit
+Clifford+T circuit (``qc``) — returns a new target of the same type and
+never mutates its input.  The class wraps the bare function with the
+metadata the registry, the pipelines and the CLI need — name, aliases,
+applicable target types, a one-line description — and with uniform
+before/after accounting (:class:`PassReport`).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Tuple
+from typing import Any, Callable, Iterable, Tuple
 
-from repro.logic.network import (
-    LogicNetwork,
-    NetworkStats,
-    network_kind,
-    network_stats,
-)
+from repro.logic.network import NetworkStats
+from repro.opt.targets import TARGET_KINDS, target_kind, target_stats
 
 __all__ = ["Pass", "PassReport"]
 
-#: Network types a pass may declare.
-NETWORK_TYPES = ("aig", "xmg")
+#: Target types a pass may declare (``aig`` / ``xmg`` / ``rev`` / ``qc``).
+NETWORK_TYPES = TARGET_KINDS
 
 
 @dataclass(frozen=True)
@@ -58,16 +56,17 @@ class PassReport:
 class Pass:
     """A named, registrable optimisation pass.
 
-    ``func`` is the underlying transformation (``network -> network``);
-    ``network_types`` the network kinds it accepts (``"aig"``, ``"xmg"``
-    or both); ``aliases`` the short ABC-style names the pipeline parser
-    also resolves (e.g. ``"b"`` for ``balance``).
+    ``func`` is the underlying transformation (``target -> target``);
+    ``network_types`` the target kinds it accepts (any subset of ``aig`` /
+    ``xmg`` / ``rev`` / ``qc``); ``aliases`` the short ABC-style names the
+    pipeline parser also resolves (e.g. ``"b"`` for ``balance`` or ``"rc"``
+    for ``rev_cancel``).
     """
 
     def __init__(
         self,
         name: str,
-        func: Callable[[LogicNetwork], LogicNetwork],
+        func: Callable[[Any], Any],
         network_types: Iterable[str] = ("aig",),
         description: str = "",
         aliases: Iterable[str] = (),
@@ -87,13 +86,13 @@ class Pass:
         self.description = description
         self.aliases = tuple(aliases)
 
-    def applies_to(self, network: LogicNetwork) -> bool:
-        """True if the pass accepts this network's type."""
-        return network_kind(network) in self.network_types
+    def applies_to(self, network: Any) -> bool:
+        """True if the pass accepts this target's type."""
+        return target_kind(network) in self.network_types
 
-    def apply(self, network: LogicNetwork) -> LogicNetwork:
+    def apply(self, network: Any) -> Any:
         """Run the bare transformation (type-checked, no accounting)."""
-        kind = network_kind(network)
+        kind = target_kind(network)
         if kind not in self.network_types:
             raise TypeError(
                 f"pass {self.name!r} does not apply to {kind!r} networks "
@@ -101,21 +100,21 @@ class Pass:
             )
         return self._func(network)
 
-    def run(self, network: LogicNetwork) -> Tuple[LogicNetwork, PassReport]:
+    def run(self, network: Any) -> Tuple[Any, PassReport]:
         """Run the pass and return ``(result, before/after report)``."""
-        before = network_stats(network)
+        before = target_stats(network)
         start = time.perf_counter()
         result = self.apply(network)
         runtime = time.perf_counter() - start
         report = PassReport(
             pass_name=self.name,
             before=before,
-            after=network_stats(result),
+            after=target_stats(result),
             runtime_seconds=runtime,
         )
         return result, report
 
-    def __call__(self, network: LogicNetwork) -> LogicNetwork:
+    def __call__(self, network: Any) -> Any:
         return self.apply(network)
 
     def __repr__(self) -> str:

@@ -14,24 +14,26 @@ Groups and repetitions are expanded at parse time, so a
 canonical names and re-parses to the same passes (round-trip property,
 relied on by the cache keys and the sweep labels).
 
-Execution (:meth:`Pipeline.run`) threads the network through every pass,
+Execution (:meth:`Pipeline.run`) threads the target through every pass,
 records a :class:`~repro.opt.passes.PassReport` per application, keeps the
-best intermediate network under the lexicographic
-:func:`~repro.logic.network.network_cost` objective — node count first,
-then depth, so a depth-improving round at equal size is kept — and can
-guard every pass with the differential equivalence checker of
-:mod:`repro.verify` (modes ``off`` / ``sampled`` / ``full`` / ``auto``).
+best intermediate result under the per-target lexicographic
+:func:`~repro.opt.targets.target_cost` objective — ``(gates, depth)`` for
+AIGs, ``(MAJ, gates, depth)`` for XMGs, ``(T-count, gates)`` for reversible
+cascades and Clifford+T circuits — and can guard every pass with the
+differential equivalence checker of :mod:`repro.verify` (modes ``off`` /
+``sampled`` / ``full`` / ``auto``; quantum circuits are compared as
+unitaries with :func:`~repro.verify.differential.check_quantum_equivalent`).
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
-from repro.logic.network import LogicNetwork, network_cost, network_kind
-from repro.opt.passes import Pass, PassReport
+from repro.opt.passes import NETWORK_TYPES, Pass, PassReport
 from repro.opt.registry import _pipeline_spec, get_pass
+from repro.opt.targets import target_copy, target_cost, target_kind
 
 __all__ = [
     "Pipeline",
@@ -58,7 +60,7 @@ class PipelineVerificationError(RuntimeError):
 class PipelineResult:
     """Outcome of one pipeline execution."""
 
-    network: LogicNetwork
+    network: Any
     reports: List[PassReport] = field(default_factory=list)
     #: Lexicographic cost of the returned network.
     cost: Tuple[int, ...] = ()
@@ -179,17 +181,17 @@ class Pipeline:
         return [p.name for p in self.passes]
 
     def network_types(self) -> frozenset:
-        """Network types every pass of the pipeline accepts."""
+        """Target types every pass of the pipeline accepts."""
         if not self.passes:
-            return frozenset(("aig", "xmg"))
+            return frozenset(NETWORK_TYPES)
         types = self.passes[0].network_types
         for p in self.passes[1:]:
             types = types & p.network_types
         return types
 
-    def applies_to(self, network: LogicNetwork) -> bool:
-        """True if every pass accepts this network's type."""
-        return network_kind(network) in self.network_types()
+    def applies_to(self, network: Any) -> bool:
+        """True if every pass accepts this target's type."""
+        return target_kind(network) in self.network_types()
 
     def __str__(self) -> str:
         return ";".join(self.pass_names())
@@ -215,47 +217,58 @@ class Pipeline:
 
     def run(
         self,
-        network: LogicNetwork,
+        network: Any,
         guard: Union[str, bool, None] = "off",
         keep_best: bool = True,
         guard_samples: int = 256,
         guard_seed: int = 1,
     ) -> PipelineResult:
-        """Thread ``network`` through every pass.
+        """Thread a target through every pass.
 
         The input is never mutated.  With ``keep_best`` (default) the
-        returned network is the best seen — the cleaned input included —
-        under the lexicographic :func:`network_cost` objective; each pass
-        still consumes its predecessor's output, so a size-neutral
-        restructuring pass can enable later gains without losing the
-        incumbent.
+        returned target is the best seen — the isolated input included —
+        under the per-target lexicographic :func:`target_cost` objective;
+        each pass still consumes its predecessor's output, so a
+        size-neutral restructuring pass can enable later gains without
+        losing the incumbent.
 
         ``guard`` enables the per-pass equivalence check (``"sampled"`` /
         ``"full"`` / ``"auto"``, or booleans with their historical
         meaning): each pass output is differentially compared against its
-        input, and a mismatch raises :class:`PipelineVerificationError`
-        naming the offending pass — turning a silently wrong optimisation
-        into a loud, attributable failure.
+        input — bit-parallel simulation for logic networks and reversible
+        cascades, statevector comparison for quantum circuits — and a
+        mismatch raises :class:`PipelineVerificationError` naming the
+        offending pass, turning a silently wrong optimisation into a loud,
+        attributable failure.
         """
-        from repro.verify.differential import check_equivalent, normalize_verify_mode
+        from repro.verify.differential import (
+            check_equivalent,
+            check_quantum_equivalent,
+            normalize_verify_mode,
+        )
 
         mode = normalize_verify_mode(guard)
-        current = network.cleanup()
+        current = target_copy(network)
         best = current
-        best_cost = network_cost(current)
+        best_cost = target_cost(current)
         reports: List[PassReport] = []
         for pass_ in self.passes:
             if not pass_.applies_to(current):
                 raise PipelineError(
                     f"pass {pass_.name!r} does not apply to "
-                    f"{network_kind(current)!r} networks (accepts: "
+                    f"{target_kind(current)!r} networks (accepts: "
                     f"{', '.join(sorted(pass_.network_types))})"
                 )
             previous = current
             current, report = pass_.run(current)
             reports.append(report)
             if mode != "off":
-                check = check_equivalent(
+                checker = (
+                    check_quantum_equivalent
+                    if target_kind(current) == "qc"
+                    else check_equivalent
+                )
+                check = checker(
                     previous,
                     current,
                     mode=mode,
@@ -267,14 +280,14 @@ class Pipeline:
                         f"pass {pass_.name!r} broke equivalence: "
                         f"{check.message}"
                     )
-            cost = network_cost(current)
+            cost = target_cost(current)
             if cost < best_cost:
                 best, best_cost = current, cost
         result = best if keep_best else current
         return PipelineResult(
             network=result,
             reports=reports,
-            cost=network_cost(result),
+            cost=target_cost(result),
             guard=mode,
         )
 

@@ -1,0 +1,173 @@
+"""Clifford+T peephole pass library over explicit quantum circuits.
+
+Two passes close the loop at the lowest layer of the flow, after the
+Toffoli cascade has been expanded into the Clifford+T gate set:
+
+* ``qc_cancel`` (``qcc``) — commutation-aware cancellation of involutions
+  (``x`` / ``z`` / ``h`` / ``cx`` / ``cz``) and inverse pairs
+  (``t``/``tdg``, ``s``/``sdg``),
+* ``qc_merge`` (``qcm``) — Z-axis rotation folding: runs of diagonal phase
+  gates on one qubit combine by adding their angles in units of π/4
+  (``t;t -> s``, ``s;s -> z``, ``t;tdg -> (nothing)``, ...), which is the
+  pass that turns adjacent T pairs into free Clifford gates.
+
+Both passes move gates past each other only under a conservative,
+sufficient commutation relation (disjoint qubits, diagonal-with-diagonal,
+diagonal on a CX control, X on a CX target, CX pairs sharing a control or
+a target), so they are sound on *any* circuit — not only classical
+permutations — and are guarded as unitaries by the pipeline
+(:func:`repro.verify.differential.check_quantum_equivalent`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.opt.passes import Pass
+from repro.opt.registry import register_pass, register_pipeline
+from repro.quantum.circuit import GATE_ADJOINTS, QuantumCircuit, QuantumGate
+
+__all__ = [
+    "DEFAULT_QC_PIPELINE",
+    "qc_cancel",
+    "qc_merge",
+    "register_qc_passes",
+]
+
+#: Name of the default Clifford+T peephole pipeline.
+DEFAULT_QC_PIPELINE = "qc-default"
+
+#: Diagonal gates in the computational basis: they all commute.
+_DIAGONAL = frozenset(("z", "s", "sdg", "t", "tdg", "cz"))
+
+#: Z-axis phase rotations in units of π/4 (mod 8).
+_PHASE_UNITS = {"t": 1, "s": 2, "z": 4, "sdg": 6, "tdg": 7}
+
+#: Phase unit (mod 8) -> single replacement gate; 0 maps to no gate at all.
+_UNIT_GATES = {1: "t", 2: "s", 4: "z", 6: "sdg", 7: "tdg"}
+
+
+def _commute(first: QuantumGate, second: QuantumGate) -> bool:
+    """Sufficient (not necessary) condition for two gates to commute."""
+    shared = set(first.qubits) & set(second.qubits)
+    if not shared:
+        return True
+    if first.name in _DIAGONAL and second.name in _DIAGONAL:
+        return True
+    for gate, other in ((first, second), (second, first)):
+        if gate.name != "cx":
+            continue
+        control, target = gate.qubits
+        if other.name in _DIAGONAL and set(other.qubits) == {control}:
+            return True
+        if other.name == "x" and other.qubits == (target,):
+            return True
+        if other.name == "cx":
+            other_control, other_target = other.qubits
+            if control == other_control and target != other_target:
+                return True
+            if target == other_target and control != other_control:
+                return True
+    return False
+
+
+def _inverse_of(first: QuantumGate, second: QuantumGate) -> bool:
+    """True when ``first . second`` is the identity."""
+    return (
+        first.qubits == second.qubits
+        and GATE_ADJOINTS[first.name] == second.name
+    )
+
+
+def qc_cancel(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove inverse gate pairs that can be brought next to each other.
+
+    The same backwards commuting scan as the reversible
+    :func:`~repro.reversible.optimize.cancel_adjacent_gates`, with the
+    quantum commutation relation and the T/S inverse pairs on top of the
+    involutions.
+    """
+    result: List[QuantumGate] = []
+    for gate in circuit.gates():
+        index = len(result) - 1
+        cancelled = False
+        while index >= 0:
+            candidate = result[index]
+            if _inverse_of(candidate, gate):
+                del result[index]
+                cancelled = True
+                break
+            if not _commute(candidate, gate):
+                break
+            index -= 1
+        if not cancelled:
+            result.append(gate)
+    return circuit.with_gates(result)
+
+
+def qc_merge(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Fold runs of Z-axis phase rotations on one qubit.
+
+    Two phase gates on the same qubit separated only by commuting gates
+    add their angles (units of π/4, mod 8); the pair is replaced by the
+    single equivalent gate whenever one exists (sums of 3 or 5 units would
+    need two gates and are left alone), so the gate count never grows and
+    ``t;t`` becomes the T-free ``s``.
+    """
+    result: List[QuantumGate] = []
+    for gate in circuit.gates():
+        merged: Optional[QuantumGate] = None
+        if gate.name in _PHASE_UNITS:
+            index = len(result) - 1
+            while index >= 0:
+                candidate = result[index]
+                if (
+                    candidate.name in _PHASE_UNITS
+                    and candidate.qubits == gate.qubits
+                ):
+                    units = (
+                        _PHASE_UNITS[candidate.name] + _PHASE_UNITS[gate.name]
+                    ) % 8
+                    if units == 0:
+                        del result[index]
+                        merged = gate  # consumed entirely
+                        break
+                    if units in _UNIT_GATES:
+                        result[index] = QuantumGate(
+                            _UNIT_GATES[units], gate.qubits
+                        )
+                        merged = gate
+                        break
+                if not _commute(candidate, gate):
+                    break
+                index -= 1
+        if merged is None:
+            result.append(gate)
+    return circuit.with_gates(result)
+
+
+def register_qc_passes() -> None:
+    """Register the Clifford+T peephole passes (idempotent per process)."""
+    for pass_ in (
+        Pass(
+            "qc_cancel",
+            qc_cancel,
+            network_types=("qc",),
+            description="cancel involutions and T/S inverse pairs",
+            aliases=("qcc",),
+        ),
+        Pass(
+            "qc_merge",
+            qc_merge,
+            network_types=("qc",),
+            description="fold Z-axis phase rotations (t;t -> s, ...)",
+            aliases=("qcm",),
+        ),
+    ):
+        register_pass(pass_, replace=True)
+    register_pipeline(
+        DEFAULT_QC_PIPELINE,
+        "(qc_cancel;qc_merge)*2",
+        description="Clifford+T cancellation and rotation folding, two rounds",
+        replace=True,
+    )

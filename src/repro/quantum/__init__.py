@@ -9,20 +9,35 @@ Section I).  This sub-package provides
 * :mod:`repro.quantum.mapping` — expansion of mixed-polarity
   multiple-controlled Toffoli gates into Clifford+T networks,
 * :mod:`repro.quantum.tcount` — the closed-form T-count models used by the
-  benchmark tables (Barenco-style and relative-phase-Toffoli style),
+  benchmark tables (Barenco-style and relative-phase-Toffoli style); the
+  mapping realizes either model explicitly (``model="barenco"`` /
+  ``model="rtof"``) and asserts gate-for-gate agreement,
+* :mod:`repro.quantum.resources` — the resource estimator (T-count,
+  greedy T-depth, total depth, gate histograms) the flows fold into their
+  cost reports,
 * :mod:`repro.quantum.statevector` — a dense simulator used by the tests to
   prove the gate decompositions unitarily correct.
 """
 
 from repro.quantum.circuit import QuantumCircuit, QuantumGate
-from repro.quantum.mapping import map_to_clifford_t, toffoli_clifford_t
+from repro.quantum.mapping import (
+    map_to_clifford_t,
+    relative_phase_toffoli,
+    relative_phase_toffoli_adjoint,
+    toffoli_clifford_t,
+)
+from repro.quantum.resources import ResourceEstimate, estimate_resources
 from repro.quantum.tcount import circuit_t_count, mct_t_count
 
 __all__ = [
     "QuantumCircuit",
     "QuantumGate",
+    "ResourceEstimate",
     "circuit_t_count",
+    "estimate_resources",
     "map_to_clifford_t",
     "mct_t_count",
+    "relative_phase_toffoli",
+    "relative_phase_toffoli_adjoint",
     "toffoli_clifford_t",
 ]

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
-__all__ = ["QuantumGate", "QuantumCircuit", "SUPPORTED_GATES"]
+__all__ = ["GATE_ADJOINTS", "QuantumGate", "QuantumCircuit", "SUPPORTED_GATES"]
 
 
 #: Gate name -> number of qubits it acts on.
@@ -25,6 +25,21 @@ SUPPORTED_GATES: Dict[str, int] = {
     "tdg": 1,
     "cx": 2,
     "cz": 2,
+}
+
+#: Gate name -> name of its adjoint (self-inverse gates map to themselves).
+#: The single source the mapper's adjoint construction and the ``qc_cancel``
+#: inverse-pair cancellation both read, so they can never desynchronize.
+GATE_ADJOINTS: Dict[str, str] = {
+    "x": "x",
+    "z": "z",
+    "h": "h",
+    "s": "sdg",
+    "sdg": "s",
+    "t": "tdg",
+    "tdg": "t",
+    "cx": "cx",
+    "cz": "cz",
 }
 
 _T_GATES = {"t", "tdg"}
@@ -58,6 +73,10 @@ class QuantumGate:
 class QuantumCircuit:
     """A gate cascade over ``num_qubits`` qubits."""
 
+    #: Target tag of the :mod:`repro.opt` pass manager (cf.
+    #: :func:`repro.opt.targets.target_kind`).
+    network_type = "qc"
+
     def __init__(self, num_qubits: int, name: str = "qc"):
         if num_qubits <= 0:
             raise ValueError("num_qubits must be positive")
@@ -78,6 +97,18 @@ class QuantumCircuit:
         """Append several gates."""
         for gate in gates:
             self.add(gate.name, *gate.qubits)
+
+    def copy(self) -> "QuantumCircuit":
+        """An independent copy of the circuit."""
+        result = QuantumCircuit(self.num_qubits, name=self.name)
+        result._gates = list(self._gates)
+        return result
+
+    def with_gates(self, gates: Iterable[QuantumGate]) -> "QuantumCircuit":
+        """A copy over the same qubits but with a different gate cascade."""
+        result = QuantumCircuit(self.num_qubits, name=self.name)
+        result.extend(gates)
+        return result
 
     # -- statistics ------------------------------------------------------------
 

@@ -1,0 +1,88 @@
+"""Resource estimation of Clifford+T circuits.
+
+Fault-tolerant execution is dominated by the T gates — their count, but
+also how many *layers* of them the circuit needs when commuting T gates on
+distinct qubits run in parallel (the T-depth, which bounds the magic-state
+distillation pipeline depth).  This module computes the standard resource
+vector of an explicit :class:`~repro.quantum.circuit.QuantumCircuit` in a
+single pass:
+
+* ``t_count`` — number of T / T-dagger gates,
+* ``t_depth`` — greedy layering of commuting T gates: T gates whose qubit
+  histories have already synchronised share a layer, every other gate
+  (Clifford) merges qubit timelines without opening a new T layer,
+* ``depth`` — total circuit depth under the same greedy schedule with
+  every gate counted,
+* ``num_qubits`` / ``num_gates`` / ``gate_counts`` — the size metrics and
+  the per-gate-name histogram.
+
+:class:`ResourceEstimate` is what the flows fold into
+:class:`repro.core.cost.CostReport` when a ``map_model`` is selected, so
+T-depth and circuit depth become first-class, cacheable cost metrics next
+to the closed-form T-count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.quantum.circuit import QuantumCircuit
+
+__all__ = ["ResourceEstimate", "estimate_resources"]
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Resource vector of one explicit Clifford+T circuit."""
+
+    num_qubits: int
+    num_gates: int
+    t_count: int
+    t_depth: int
+    depth: int
+    gate_counts: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable dictionary (stable key order)."""
+        return {
+            "num_qubits": self.num_qubits,
+            "num_gates": self.num_gates,
+            "t_count": self.t_count,
+            "t_depth": self.t_depth,
+            "depth": self.depth,
+            "gate_counts": dict(sorted(self.gate_counts.items())),
+        }
+
+
+def estimate_resources(circuit: QuantumCircuit) -> ResourceEstimate:
+    """Measure a Clifford+T circuit in one pass over its gate list.
+
+    Both depths are greedy as-soon-as-possible schedules: a gate starts as
+    soon as all of its qubits are free.  For the T-depth only T-like layers
+    are counted — Clifford gates synchronise the qubit timelines they touch
+    but do not open a layer of their own, which is exactly the greedy
+    "commuting T gates share a layer" policy.
+    """
+    t_levels = [0] * circuit.num_qubits
+    depth_levels = [0] * circuit.num_qubits
+    t_count = 0
+    counts: Dict[str, int] = {}
+    for gate in circuit.gates():
+        counts[gate.name] = counts.get(gate.name, 0) + 1
+        t_level = max(t_levels[q] for q in gate.qubits)
+        depth_level = max(depth_levels[q] for q in gate.qubits) + 1
+        if gate.is_t_like():
+            t_count += 1
+            t_level += 1
+        for q in gate.qubits:
+            t_levels[q] = t_level
+            depth_levels[q] = depth_level
+    return ResourceEstimate(
+        num_qubits=circuit.num_qubits,
+        num_gates=circuit.num_gates(),
+        t_count=t_count,
+        t_depth=max(t_levels, default=0),
+        depth=max(depth_levels, default=0),
+        gate_counts=counts,
+    )

@@ -52,6 +52,10 @@ class LineInfo:
 class ReversibleCircuit:
     """A cascade of mixed-polarity multiple-controlled Toffoli gates."""
 
+    #: Target tag of the :mod:`repro.opt` pass manager (cf.
+    #: :func:`repro.opt.targets.target_kind`).
+    network_type = "rev"
+
     def __init__(self, name: str = "circuit"):
         self.name = name
         self._lines: List[LineInfo] = []

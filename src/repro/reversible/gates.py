@@ -21,6 +21,15 @@ class ToffoliGate:
     is True for a positive control (triggers on 1) and False for a negative
     control (triggers on 0).  ``target`` is the line whose value is inverted
     when every control is satisfied.
+
+    A line may appear several times in the control list.  Duplicate entries
+    of the same polarity are redundant; a line controlled with *both*
+    polarities makes the gate statically unsatisfiable (it can never
+    trigger).  Both shapes arise from mechanical gate rewriting (control
+    merging, polarity pushing) and are what
+    :func:`repro.reversible.optimize.remove_trivial_gates` normalises away.
+    The target may never also be a control line — that would not describe a
+    reversible function.
     """
 
     controls: Tuple[Tuple[int, bool], ...]
@@ -28,8 +37,6 @@ class ToffoliGate:
 
     def __post_init__(self) -> None:
         lines = [line for line, _ in self.controls]
-        if len(set(lines)) != len(lines):
-            raise ValueError("control lines must be distinct")
         if self.target in lines:
             raise ValueError("the target line may not also be a control line")
         if self.target < 0 or any(line < 0 for line in lines):
@@ -76,6 +83,38 @@ class ToffoliGate:
         """True for a singly-controlled gate."""
         return len(self.controls) == 1
 
+    def has_duplicate_controls(self) -> bool:
+        """True if some line appears more than once in the control list."""
+        lines = [line for line, _ in self.controls]
+        return len(set(lines)) != len(lines)
+
+    def is_unsatisfiable(self) -> bool:
+        """True if the control list can never be satisfied.
+
+        A line controlled with both polarities requires that line to be 0
+        and 1 at once, so the gate is the identity on every state.
+        """
+        polarities: Dict[int, bool] = {}
+        for line, positive in self.controls:
+            if polarities.setdefault(line, positive) != positive:
+                return True
+        return False
+
+    def normalized(self) -> "ToffoliGate":
+        """A copy with duplicate control entries removed (first kept).
+
+        Unsatisfiable gates cannot be normalised into an equivalent gate of
+        this library (the identity is the *absence* of a gate); callers
+        should test :meth:`is_unsatisfiable` first and drop such gates, as
+        :func:`repro.reversible.optimize.remove_trivial_gates` does.
+        """
+        if self.is_unsatisfiable():
+            raise ValueError(f"gate {self} is unsatisfiable; drop it instead")
+        seen: Dict[int, bool] = {}
+        for line, positive in self.controls:
+            seen.setdefault(line, positive)
+        return ToffoliGate(tuple(seen.items()), self.target)
+
     def positive_controls(self) -> Tuple[int, ...]:
         """Lines with positive controls."""
         return tuple(line for line, polarity in self.controls if polarity)
@@ -98,6 +137,10 @@ class ToffoliGate:
         """Bit masks ``(care, polarity)`` over line indices.
 
         The gate triggers on a state ``s`` iff ``s & care == polarity``.
+        For an unsatisfiable gate (a line controlled with both polarities)
+        the returned polarity carries the target bit — which is never in
+        ``care`` — so the trigger condition is false on every state and all
+        mask-based evaluators treat the gate as the identity it is.
         """
         care = 0
         polarity = 0
@@ -105,6 +148,8 @@ class ToffoliGate:
             care |= 1 << line
             if positive:
                 polarity |= 1 << line
+        if self.is_unsatisfiable():
+            polarity = (polarity & care) | (1 << self.target)
         return care, polarity
 
     def applies_to(self, state: int) -> bool:

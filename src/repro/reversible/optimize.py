@@ -11,15 +11,20 @@ This module provides the standard ones:
   cancellation pass considerably more effective than a purely local scan.
 * :func:`merge_not_gates` — a NOT gate adjacent to a gate controlling the
   same line is absorbed by flipping that control's polarity.
-* :func:`remove_trivial_gates` — gates whose control set can never be
-  satisfied (impossible with the data structure) or duplicated bookkeeping
-  entries are dropped; kept for API completeness and future passes.
-* :func:`optimize_circuit` — the standard script: NOT merging followed by
-  cancellation, iterated to a fixed point.
+* :func:`remove_trivial_gates` — gates whose control list is statically
+  unsatisfiable (a line controlled with both polarities) are dropped, and
+  duplicate control entries are normalised away.
+* :func:`optimize_circuit` — the standard script: trivial-gate removal,
+  NOT merging and cancellation, iterated to a fixed point.
 
 All passes preserve the circuit function exactly (asserted by the
 test-suite via permutation comparison on small circuits and random
-simulation on larger ones).
+simulation on larger ones).  They are also registered with the
+:mod:`repro.opt` pass manager as ``rev_cancel`` / ``rev_not_merge`` /
+``rev_trivial`` (aliases ``rc`` / ``rn`` / ``rt``) with the default
+pipeline ``rev-default``, so reversible cascades participate in the same
+pipeline specs, keep-best tracking and differential guards as the logic
+networks.
 """
 
 from __future__ import annotations
@@ -102,7 +107,9 @@ def merge_not_gates(circuit: ReversibleCircuit) -> ReversibleCircuit:
             if not (first.is_not() and last.is_not() and first.target == last.target):
                 continue
             line = first.target
-            if middle.target == line:
+            if middle.target == line or middle.has_duplicate_controls():
+                # Duplicate entries would be silently collapsed by the dict
+                # below; leave such gates to remove_trivial_gates first.
                 continue
             controls = dict(middle.controls)
             if line not in controls:
@@ -119,19 +126,30 @@ def merge_not_gates(circuit: ReversibleCircuit) -> ReversibleCircuit:
 
 
 def remove_trivial_gates(circuit: ReversibleCircuit) -> ReversibleCircuit:
-    """Drop gates that provably do nothing.
+    """Drop gates that provably do nothing and normalise the rest.
 
-    With the current gate data structure the only representable trivial gate
-    is a duplicate adjacent pair (handled by cancellation), so this pass
-    simply returns a copy; it exists so that flow scripts can list it and
-    future gate types (e.g. controlled phase) can hook in.
+    Two shapes of statically trivial gates exist in the gate library:
+
+    * a gate whose control list contains the same line with *both*
+      polarities is unsatisfiable — it never triggers and is removed,
+    * duplicate control entries of the same polarity are redundant — the
+      gate is replaced by its :meth:`~ToffoliGate.normalized` form, which
+      also restores the honest ``num_controls`` count the T-count models
+      charge for.
     """
-    return circuit.copy()
+    result: List[ToffoliGate] = []
+    for gate in circuit.gates():
+        if gate.is_unsatisfiable():
+            continue
+        if gate.has_duplicate_controls():
+            gate = gate.normalized()
+        result.append(gate)
+    return circuit.with_gates(result)
 
 
 def optimize_circuit(circuit: ReversibleCircuit, max_rounds: int = 4) -> ReversibleCircuit:
-    """NOT-merging and cancellation iterated to a fixed point."""
-    current = circuit
+    """Trivial-gate removal, NOT-merging and cancellation to a fixed point."""
+    current = remove_trivial_gates(circuit)
     for _ in range(max_rounds):
         merged = merge_not_gates(current)
         cancelled = cancel_adjacent_gates(merged)

@@ -40,6 +40,7 @@ from repro.verify.bitsim import (
 from repro.verify.differential import (
     DifferentialResult,
     check_equivalent,
+    check_quantum_equivalent,
     mapped_circuit_simulator,
     simulator_for,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "DifferentialResult",
     "PatternBatch",
     "check_equivalent",
+    "check_quantum_equivalent",
     "exhaustive_batch",
     "mapped_circuit_simulator",
     "pack_bits",

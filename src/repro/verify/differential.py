@@ -37,6 +37,7 @@ __all__ = [
     "MappedCircuitError",
     "VERIFY_MODES",
     "check_equivalent",
+    "check_quantum_equivalent",
     "mapped_circuit_simulator",
     "normalize_verify_mode",
     "simulator_for",
@@ -213,6 +214,84 @@ def mapped_circuit_simulator(
     return _Simulator(
         reversible.num_inputs(), reversible.num_outputs(), run, "clifford+t"
     )
+
+
+#: Qubit ceiling of :func:`check_quantum_equivalent` — each sampled basis
+#: state costs one dense statevector simulation of both circuits.
+QUANTUM_EQUIV_QUBIT_LIMIT = 16
+
+
+def check_quantum_equivalent(
+    spec: QuantumCircuit,
+    impl: QuantumCircuit,
+    mode: str = "auto",
+    num_samples: int = 16,
+    seed: int = 1,
+    atol: float = 1e-9,
+) -> DifferentialResult:
+    """Differentially compare two Clifford+T circuits as unitaries.
+
+    Unlike :func:`check_equivalent` this does not need input/output roles:
+    both circuits are applied to the same computational basis states and
+    the full final statevectors are compared amplitude by amplitude
+    (phases included, so a peephole pass dropping a lone ``s`` or ``t``
+    gate is caught even though probabilities match).  ``mode`` follows the
+    usual regimes — ``"full"`` simulates every basis state, ``"sampled"``
+    a seeded random subset, ``"auto"`` picks full for small circuits.
+    Exponential in the qubit count; circuits beyond
+    :data:`QUANTUM_EQUIV_QUBIT_LIMIT` qubits are rejected with a
+    :class:`ValueError` rather than silently skipped.
+    """
+    from repro.quantum.statevector import Statevector
+
+    if spec.num_qubits != impl.num_qubits:
+        return DifferentialResult(
+            False,
+            True,
+            0,
+            message=(
+                f"qubit counts differ: {spec.num_qubits} vs {impl.num_qubits}"
+            ),
+        )
+    n = spec.num_qubits
+    if n > QUANTUM_EQUIV_QUBIT_LIMIT:
+        raise ValueError(
+            f"{n} qubits exceed the {QUANTUM_EQUIV_QUBIT_LIMIT}-qubit "
+            "statevector equivalence limit"
+        )
+    mode = normalize_verify_mode(mode)
+    if mode == "off":
+        raise ValueError("mode 'off' is handled by callers, not the checker")
+    if mode == "auto":
+        mode = "full" if n <= 8 else "sampled"
+    if mode == "full" or num_samples >= (1 << n):
+        basis_states = list(range(1 << n))
+        complete = True
+    else:
+        rng = np.random.default_rng(seed)
+        basis_states = [
+            int(state)
+            for state in rng.integers(0, 1 << n, size=num_samples, dtype=np.int64)
+        ]
+        complete = False
+    for state in basis_states:
+        spec_vec = Statevector(n, state)
+        spec_vec.apply_circuit(spec)
+        impl_vec = Statevector(n, state)
+        impl_vec.apply_circuit(impl)
+        if not np.allclose(spec_vec.amplitudes, impl_vec.amplitudes, atol=atol):
+            return DifferentialResult(
+                False,
+                complete,
+                len(basis_states),
+                counterexample=state,
+                message=(
+                    f"statevectors diverge on basis state {state} "
+                    f"(max deviation "
+                    f"{np.max(np.abs(spec_vec.amplitudes - impl_vec.amplitudes)):.3g})"
+                ),
+            )
+    return DifferentialResult(True, complete, len(basis_states), message="ok")
 
 
 def _make_batch(

@@ -195,6 +195,25 @@ class TestPassManagerCli:
         assert "balance" in output
         assert "xmg_refactor" not in output
 
+    def test_passes_command_target_qc(self, capsys):
+        assert main(["passes", "--target", "qc"]) == 0
+        output = capsys.readouterr().out
+        assert "qc_cancel" in output and "qc_merge" in output
+        assert "qc-default" in output
+        assert "balance" not in output and "rev_cancel" not in output
+
+    def test_passes_command_target_rev(self, capsys):
+        assert main(["passes", "--target", "rev"]) == 0
+        output = capsys.readouterr().out
+        assert "rev_cancel" in output and "rev-default" in output
+        assert "qc_cancel" not in output
+
+    def test_passes_command_lists_all_targets(self, capsys):
+        assert main(["passes"]) == 0
+        output = capsys.readouterr().out
+        for name in ("balance", "xmg_refactor", "rev_cancel", "qc_merge"):
+            assert name in output
+
     def test_flow_opt_override(self, capsys):
         exit_code = main(
             ["flow", "--flow", "esop", "--design", "intdiv", "-n", "3",
@@ -230,6 +249,79 @@ class TestPassManagerCli:
         assert exit_code == 2
         err = capsys.readouterr().err
         assert "did you mean" in err and "rewrite" in err
+
+    def test_flow_rev_opt_and_map_model(self, capsys):
+        exit_code = main(
+            ["flow", "--flow", "esop", "--design", "intdiv", "-n", "4",
+             "--rev-opt", "rev-default", "--map-model", "rtof"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "T-depth" in output
+        assert "mapped qubits" in output
+
+    def test_flow_qc_opt_requires_map_model(self, capsys):
+        exit_code = main(
+            ["flow", "--flow", "esop", "--design", "intdiv", "-n", "3",
+             "--qc-opt", "qc-default"]
+        )
+        assert exit_code == 2
+        assert "--map-model" in capsys.readouterr().err
+
+    def test_flow_unknown_rev_opt_fails_with_suggestion(self, capsys):
+        exit_code = main(
+            ["flow", "--flow", "esop", "--design", "intdiv", "-n", "3",
+             "--rev-opt", "rev_cancell"]
+        )
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "rev_cancel" in err
+
+    def test_flow_qasm_respects_map_model(self, tmp_path, capsys):
+        qasm_path = tmp_path / "circuit.qasm"
+        exit_code = main(
+            ["flow", "--flow", "esop", "--design", "intdiv", "-n", "3",
+             "--map-model", "barenco", "--qasm", str(qasm_path)]
+        )
+        assert exit_code == 0
+        assert qasm_path.exists()
+        from repro.io.qasm import parse_qasm
+
+        parsed = parse_qasm(qasm_path.read_text())
+        output = capsys.readouterr().out
+        assert f"{parsed.t_count()} T" in output
+
+    def test_explore_rev_opt_sweeps_pipelines(self, capsys):
+        exit_code = main(
+            ["explore", "--design", "intdiv", "-n", "3", "--no-verify",
+             "--quiet", "--sweep", "esop:p=0",
+             "--rev-opt", "none", "--rev-opt", "rev-default"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "rev_opt=none" in output
+        assert "rev_opt=rev-default" in output
+
+    def test_explore_rev_opt_cross_deduplicates_default_points(self, capsys):
+        # The esop default sweep already ships a (p=0, rev_opt=rev-default)
+        # point; crossing with --rev-opt rev-default must not run it twice.
+        exit_code = main(
+            ["explore", "--flow", "esop", "--design", "intdiv", "-n", "3",
+             "--no-verify", "--quiet", "--rev-opt", "rev-default"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        # One row in the design-space table (the Pareto table repeats the
+        # label without the design prefix).
+        assert output.count("intdiv(3)/esop(p=0, rev_opt=rev-default)") == 1
+
+    def test_explore_flow_esop_default_sweep_has_rev_opt(self, capsys):
+        exit_code = main(
+            ["explore", "--flow", "esop", "--design", "intdiv", "-n", "3",
+             "--no-verify", "--quiet"]
+        )
+        assert exit_code == 0
+        assert "rev_opt=rev-default" in capsys.readouterr().out
 
     def test_explore_opt_sweeps_pipelines(self, capsys):
         exit_code = main(

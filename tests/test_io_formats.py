@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.hdl.synthesize import synthesize_reciprocal_design
 from repro.io.aiger import read_aiger, write_aiger
 from repro.io.pla import read_pla, write_pla
-from repro.io.qasm import write_qasm
+from repro.io.qasm import parse_qasm, write_qasm
 from repro.io.realfmt import read_real, write_real
 from repro.logic.aig import Aig, lit_not
 from repro.logic.esop import esop_from_columns
@@ -160,6 +160,23 @@ class TestReal:
         with pytest.raises(ValueError):
             read_real(".version 2.0\n.begin\n.end\n")
 
+    def test_trivial_gates_normalized_on_export(self):
+        # The .real format cannot mention one variable twice in a control
+        # list: unsatisfiable gates are dropped, duplicates deduplicated.
+        circuit = ReversibleCircuit()
+        for i in range(3):
+            circuit.add_input_line(i)
+            circuit.set_output(i, i)
+        circuit.append(ToffoliGate(((0, True), (0, False)), 1))
+        circuit.append(ToffoliGate(((0, True), (0, True)), 2))
+        text = write_real(circuit)
+        parsed = read_real(text)
+        assert parsed.num_gates() == 1
+        assert parsed.gates()[0] == ToffoliGate(((0, True),), 2)
+        assert np.array_equal(
+            parsed.to_permutation(), circuit.to_permutation()
+        )
+
     def test_unsupported_gate_rejected(self):
         text = ".variables a b\n.begin\nf2 a b\n.end\n"
         with pytest.raises(ValueError):
@@ -192,3 +209,86 @@ class TestQasm:
         quantum = map_to_clifford_t(circuit)
         text = write_qasm(quantum)
         assert text.count("\n") == quantum.num_gates() + 3
+
+
+class TestQasmRoundTrip:
+    """Export -> parse is lossless over the full gate vocabulary."""
+
+    @staticmethod
+    def _random_circuit(data, num_qubits=4):
+        from repro.quantum.circuit import SUPPORTED_GATES
+
+        names = sorted(SUPPORTED_GATES)
+        circuit = QuantumCircuit(num_qubits)
+        for pick, first, second in data:
+            name = names[pick % len(names)]
+            arity = SUPPORTED_GATES[name]
+            a = first % num_qubits
+            if arity == 1:
+                circuit.add(name, a)
+            else:
+                b = second % num_qubits
+                if b == a:
+                    b = (a + 1) % num_qubits
+                circuit.add(name, a, b)
+        return circuit
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=100),
+            ),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, data):
+        circuit = self._random_circuit(data)
+        parsed = parse_qasm(write_qasm(circuit))
+        assert parsed.num_qubits == circuit.num_qubits
+        assert parsed.gates() == circuit.gates()
+
+    def test_every_supported_gate_round_trips(self):
+        from repro.quantum.circuit import SUPPORTED_GATES
+
+        circuit = QuantumCircuit(2)
+        for name, arity in sorted(SUPPORTED_GATES.items()):
+            circuit.add(name, *range(arity))
+        parsed = parse_qasm(write_qasm(circuit))
+        assert parsed.gates() == circuit.gates()
+
+    def test_rtof_mapped_circuit_round_trips(self):
+        rev = ReversibleCircuit()
+        for i in range(4):
+            rev.add_input_line(i)
+            rev.set_output(i, i)
+        rev.append(ToffoliGate.from_lines([0, 1, 2], [], 3))
+        quantum = map_to_clifford_t(rev, model="rtof")
+        parsed = parse_qasm(write_qasm(quantum))
+        assert parsed.gates() == quantum.gates()
+        assert parsed.t_count() == quantum.t_count()
+
+    def test_custom_register_round_trips(self):
+        circuit = QuantumCircuit(2, name="anc")
+        circuit.add("cx", 0, 1)
+        parsed = parse_qasm(write_qasm(circuit, register="anc"))
+        assert parsed.gates() == circuit.gates()
+
+    def test_parse_rejects_unknown_gate(self):
+        with pytest.raises(ValueError):
+            parse_qasm("qreg q[2];\nccx q[0], q[1];\n")
+
+    def test_parse_rejects_out_of_range_qubit(self):
+        with pytest.raises(ValueError):
+            parse_qasm("qreg q[2];\nx q[5];\n")
+
+    def test_parse_rejects_gate_before_register(self):
+        with pytest.raises(ValueError):
+            parse_qasm("OPENQASM 2.0;\nx q[0];\n")
+
+    def test_parse_rejects_missing_register(self):
+        with pytest.raises(ValueError):
+            parse_qasm("OPENQASM 2.0;\n")

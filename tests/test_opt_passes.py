@@ -184,7 +184,9 @@ class TestPipelineParsing:
             as_pipeline(42)
 
     def test_empty_pipeline_applies_everywhere(self):
-        assert parse_pipeline("").network_types() == frozenset({"aig", "xmg"})
+        assert parse_pipeline("").network_types() == frozenset(
+            {"aig", "xmg", "rev", "qc"}
+        )
 
 
 # ---------------------------------------------------------------------------

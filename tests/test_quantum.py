@@ -110,14 +110,17 @@ class TestCliffordTMapping:
         for basis in range(8):
             assert images[basis] == gate.apply(basis)
 
-    def test_explicit_mapping_matches_barenco_model(self):
+    def test_explicit_mapping_matches_closed_form_models(self):
         rev = ReversibleCircuit()
         for _ in range(7):
             rev.add_constant_line(0)
         rev.append(ToffoliGate.from_lines([0, 1, 2, 3, 4], [], 6))
         rev.append(ToffoliGate.toffoli(0, 1, 2))
-        quantum = map_to_clifford_t(rev)
-        assert quantum.t_count() == circuit_t_count(rev, "barenco")
+        for model in ("barenco", "rtof"):
+            quantum = map_to_clifford_t(rev, model=model)
+            assert quantum.t_count() == circuit_t_count(rev, model)
+        # rtof is the default model, as everywhere else in the stack.
+        assert map_to_clifford_t(rev).t_count() == circuit_t_count(rev, "rtof")
 
     def test_ancillas_restored(self):
         rev = ReversibleCircuit()

@@ -1,0 +1,210 @@
+"""Tests for the quantum resource estimator and the rtof mapping model.
+
+Covers :mod:`repro.quantum.resources` (T-depth/depth greedy layering, gate
+histograms, serialisation) and the end-to-end property the tentpole rests
+on: circuits mapped with the 4-T relative-phase Toffoli model are full
+classical permutations — the relative phases cancel across the
+compute/uncompute pairs — verified differentially against the reversible
+cascade they were mapped from.
+"""
+
+import pytest
+
+from repro.core.flows import run_flow
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.mapping import (
+    map_to_clifford_t,
+    relative_phase_toffoli,
+    relative_phase_toffoli_adjoint,
+)
+from repro.quantum.resources import estimate_resources
+from repro.quantum.statevector import Statevector
+from repro.reversible.circuit import ReversibleCircuit
+from repro.reversible.gates import ToffoliGate
+from repro.verify.differential import (
+    check_equivalent,
+    check_quantum_equivalent,
+    mapped_circuit_simulator,
+)
+
+
+class TestResourceEstimate:
+    def test_empty_circuit(self):
+        estimate = estimate_resources(QuantumCircuit(3))
+        assert estimate.t_count == 0
+        assert estimate.t_depth == 0
+        assert estimate.depth == 0
+        assert estimate.num_qubits == 3
+        assert estimate.gate_counts == {}
+
+    def test_sequential_t_gates_on_one_qubit(self):
+        circuit = QuantumCircuit(2)
+        for _ in range(4):
+            circuit.add("t", 0)
+        estimate = estimate_resources(circuit)
+        assert estimate.t_count == 4
+        assert estimate.t_depth == 4
+        assert estimate.depth == 4
+
+    def test_parallel_t_gates_share_a_layer(self):
+        circuit = QuantumCircuit(4)
+        for q in range(4):
+            circuit.add("t", q)
+        estimate = estimate_resources(circuit)
+        assert estimate.t_count == 4
+        assert estimate.t_depth == 1
+        assert estimate.depth == 1
+
+    def test_clifford_gates_synchronise_without_t_layers(self):
+        circuit = QuantumCircuit(2)
+        circuit.add("t", 0)
+        circuit.add("cx", 0, 1)  # ties qubit 1 to qubit 0's T level
+        circuit.add("t", 1)
+        estimate = estimate_resources(circuit)
+        assert estimate.t_depth == 2
+        assert estimate.depth == 3
+
+    def test_matches_circuit_methods(self):
+        rev = ReversibleCircuit()
+        for i in range(4):
+            rev.add_input_line(i)
+            rev.set_output(i, i)
+        rev.append(ToffoliGate.from_lines([0, 1, 2], [], 3))
+        quantum = map_to_clifford_t(rev)
+        estimate = estimate_resources(quantum)
+        assert estimate.t_count == quantum.t_count()
+        assert estimate.t_depth == quantum.t_depth()
+        assert estimate.num_gates == quantum.num_gates()
+        assert estimate.gate_counts == quantum.gate_counts()
+        assert sum(estimate.gate_counts.values()) == estimate.num_gates
+
+    def test_to_dict_round_trips_json(self):
+        import json
+
+        estimate = estimate_resources(map_to_clifford_t(_mct_circuit(3)))
+        payload = json.loads(json.dumps(estimate.to_dict()))
+        assert payload["t_count"] == estimate.t_count
+        assert payload["gate_counts"]["cx"] == estimate.gate_counts["cx"]
+
+
+def _mct_circuit(num_controls):
+    rev = ReversibleCircuit(f"mct{num_controls}")
+    for i in range(num_controls + 1):
+        rev.add_input_line(i)
+        rev.set_output(i, i)
+    rev.append(ToffoliGate.from_lines(list(range(num_controls)), [], num_controls))
+    return rev
+
+
+class TestRtofMapping:
+    def test_rtof_pair_is_identity(self):
+        circuit = QuantumCircuit(3)
+        circuit.extend(relative_phase_toffoli(0, 1, 2))
+        circuit.extend(relative_phase_toffoli_adjoint(0, 1, 2))
+        check = check_quantum_equivalent(
+            circuit, QuantumCircuit(3), mode="full"
+        )
+        assert check.equivalent, check.message
+
+    def test_rtof_alone_has_relative_phase(self):
+        # The bare RTOF is NOT a classical permutation with trivial phases:
+        # |110> picks up -i.  This is what makes the 4-T construction legal
+        # only inside compute/uncompute pairs.
+        circuit = QuantumCircuit(3)
+        circuit.extend(relative_phase_toffoli(0, 1, 2))
+        state = Statevector(3, 0b011)  # qubit0=a=1, qubit1=b=1, target=0
+        state.apply_circuit(circuit)
+        amplitude = state.amplitudes[0b111]
+        assert abs(amplitude - (-1j)) < 1e-9
+
+    @pytest.mark.parametrize("num_controls", [3, 4, 5])
+    def test_rtof_mapped_mct_is_exact_permutation(self, num_controls):
+        rev = _mct_circuit(num_controls)
+        quantum = map_to_clifford_t(rev, model="rtof")
+        check = check_equivalent(
+            rev, mapped_circuit_simulator(quantum, rev), mode="full"
+        )
+        assert check.equivalent, check.message
+
+    @pytest.mark.parametrize("model", ["rtof", "barenco"])
+    def test_mapped_flow_circuit_passes_differential(self, model):
+        result = run_flow("esop", "intdiv", 3, verify="off", p=0)
+        quantum = map_to_clifford_t(result.circuit, model=model)
+        check = check_equivalent(
+            result.circuit,
+            mapped_circuit_simulator(quantum, result.circuit),
+            mode="full",
+        )
+        assert check.equivalent, check.message
+
+    def test_rtof_t_depth_not_worse_than_barenco(self):
+        rev = _mct_circuit(5)
+        rtof = estimate_resources(map_to_clifford_t(rev, model="rtof"))
+        barenco = estimate_resources(map_to_clifford_t(rev, model="barenco"))
+        assert rtof.t_count < barenco.t_count
+        assert rtof.t_depth <= barenco.t_depth
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            map_to_clifford_t(_mct_circuit(3), model="maslov2020")
+
+    def test_ancillas_sized_from_normalized_gates(self):
+        # A wide unsatisfiable gate is skipped entirely: it must not
+        # inflate the shared ancilla register of the mapped circuit.
+        rev = ReversibleCircuit()
+        for i in range(6):
+            rev.add_input_line(i)
+            rev.set_output(i, i)
+        rev.append(
+            ToffoliGate(
+                ((0, True), (0, False), (1, True), (2, True), (3, True)), 5
+            )
+        )
+        rev.append(ToffoliGate.cnot(0, 1))
+        quantum = map_to_clifford_t(rev)
+        assert quantum.num_qubits == rev.num_lines()
+        # A duplicated entry is charged (and sized) once: 3 distinct
+        # controls need exactly one clean ancilla.
+        rev2 = ReversibleCircuit()
+        for i in range(5):
+            rev2.add_input_line(i)
+            rev2.set_output(i, i)
+        rev2.append(
+            ToffoliGate(((0, True), (0, True), (1, True), (2, True)), 4)
+        )
+        assert map_to_clifford_t(rev2).num_qubits == rev2.num_lines() + 1
+
+
+class TestQuantumEquivalenceChecker:
+    def test_qubit_count_mismatch(self):
+        result = check_quantum_equivalent(
+            QuantumCircuit(2), QuantumCircuit(3), mode="full"
+        )
+        assert not result.equivalent
+        assert "qubit counts differ" in result.message
+
+    def test_catches_global_gate_loss(self):
+        spec = QuantumCircuit(2)
+        spec.add("t", 0)
+        result = check_quantum_equivalent(spec, QuantumCircuit(2), mode="full")
+        assert not result.equivalent
+        assert result.counterexample is not None
+
+    def test_sampled_mode_is_seeded(self):
+        circuit = QuantumCircuit(10)
+        circuit.add("x", 9)
+        a = check_quantum_equivalent(
+            circuit, circuit.copy(), mode="sampled", num_samples=4, seed=7
+        )
+        b = check_quantum_equivalent(
+            circuit, circuit.copy(), mode="sampled", num_samples=4, seed=7
+        )
+        assert a.equivalent and b.equivalent
+        assert a.num_patterns == b.num_patterns == 4
+        assert not a.complete
+
+    def test_qubit_limit_enforced(self):
+        with pytest.raises(ValueError):
+            check_quantum_equivalent(
+                QuantumCircuit(17), QuantumCircuit(17), mode="sampled"
+            )

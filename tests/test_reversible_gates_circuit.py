@@ -37,11 +37,28 @@ class TestToffoliGate:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            ToffoliGate(((0, True), (0, False)), 1)
-        with pytest.raises(ValueError):
             ToffoliGate(((0, True),), 0)
         with pytest.raises(ValueError):
             ToffoliGate(((-1, True),), 0)
+
+    def test_contradictory_controls_never_trigger(self):
+        # Both polarities on one line are representable (rewriting passes
+        # produce them) and make the gate a provable identity.
+        gate = ToffoliGate(((0, True), (0, False)), 1)
+        assert gate.is_unsatisfiable()
+        for state in range(4):
+            assert gate.apply(state) == state
+        with pytest.raises(ValueError):
+            gate.normalized()
+
+    def test_duplicate_controls_normalize(self):
+        gate = ToffoliGate(((0, True), (0, True)), 1)
+        assert gate.has_duplicate_controls()
+        assert not gate.is_unsatisfiable()
+        normalized = gate.normalized()
+        assert normalized.controls == ((0, True),)
+        for state in range(4):
+            assert gate.apply(state) == normalized.apply(state)
 
     @given(st.integers(min_value=0, max_value=255))
     def test_involution(self, state):

@@ -139,6 +139,59 @@ class TestFullScript:
         circuit = build_circuit(3, [ToffoliGate.toffoli(0, 1, 2)])
         assert remove_trivial_gates(circuit).num_gates() == 1
 
+
+class TestRemoveTrivialGates:
+    """Regression tests: the pass actually removes trivial gates now."""
+
+    def test_unsatisfiable_gate_dropped(self):
+        gate = ToffoliGate(((0, True), (0, False)), 1)
+        circuit = build_circuit(2, [gate])
+        optimized = remove_trivial_gates(circuit)
+        assert optimized.num_gates() == 0
+        assert np.array_equal(
+            circuit.to_permutation(), optimized.to_permutation()
+        )
+
+    def test_unsatisfiable_gate_among_real_gates(self):
+        keep = ToffoliGate.toffoli(0, 1, 2)
+        trivial = ToffoliGate(((0, True), (0, False), (1, True)), 3)
+        circuit = build_circuit(4, [keep, trivial, keep, ToffoliGate.x(3)])
+        optimized = remove_trivial_gates(circuit)
+        assert optimized.num_gates() == 3
+        assert np.array_equal(
+            circuit.to_permutation(), optimized.to_permutation()
+        )
+
+    def test_duplicate_control_entries_deduplicated(self):
+        gate = ToffoliGate(((0, True), (0, True), (1, False)), 2)
+        circuit = build_circuit(3, [gate])
+        optimized = remove_trivial_gates(circuit)
+        assert optimized.num_gates() == 1
+        normalized = optimized.gates()[0]
+        assert not normalized.has_duplicate_controls()
+        assert normalized.num_controls() == 2
+        assert np.array_equal(
+            circuit.to_permutation(), optimized.to_permutation()
+        )
+
+    def test_deduplication_restores_honest_t_count(self):
+        # A duplicated 2-control gate must not be charged as a 3-control
+        # gate anywhere in the stack.
+        gate = ToffoliGate(((0, True), (0, True), (1, True)), 2)
+        circuit = build_circuit(3, [gate])
+        assert circuit.t_count() == 7  # models normalise on the fly
+        assert remove_trivial_gates(circuit).t_count() == 7
+
+    def test_unsatisfiable_gates_cost_no_t(self):
+        gate = ToffoliGate(((0, True), (0, False), (1, True)), 2)
+        circuit = build_circuit(3, [gate])
+        assert circuit.t_count() == 0
+
+    def test_optimize_circuit_runs_trivial_removal(self):
+        trivial = ToffoliGate(((0, True), (0, False)), 1)
+        circuit = build_circuit(2, [trivial])
+        assert optimize_circuit(circuit).num_gates() == 0
+
     def test_roles_preserved(self):
         circuit = ReversibleCircuit()
         circuit.add_input_line(0, "a")
