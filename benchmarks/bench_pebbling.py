@@ -96,3 +96,104 @@ def test_pebbling_tradeoff_curve(benchmark):
         rounds=3,
         iterations=1,
     )
+
+
+#: Wall-clock ceiling of the exact configuration's flow run — the SAT
+#: engines must pay for themselves inside an interactive budget.
+EXACT_TIME_LIMIT = 60.0
+
+#: SAT budget handed to the exact pebbling strategy (well under the
+#: wall-clock gate; the exact ESOP covers take their own per-LUT budget).
+EXACT_SAT_BUDGET = 20.0
+
+
+def test_pebbling_exact_dominates_greedy(benchmark):
+    """The SAT-exact configuration strictly beats the greedy bounded front.
+
+    Gates: the exact run finishes within :data:`EXACT_TIME_LIMIT` seconds,
+    its schedule survives :func:`validate_schedule`, and its (qubits,
+    T-count) point strictly dominates at least one greedy ``bounded``
+    front point — no more qubits, strictly fewer T gates.
+    """
+    import time
+
+    from repro.reversible.pebbling import validate_schedule
+
+    bounded = {}
+    rows = []
+    for fraction in (0.25, 0.5, 0.75):
+        report = run_flow(
+            "lut", "intdiv", BITWIDTH, verify=False,
+            strategy="bounded", max_pebbles=fraction,
+        ).report
+        bounded[f"bounded({fraction})"] = report
+        rows.append((f"bounded({fraction})", report.qubits, report.t_count))
+
+    start = time.monotonic()
+    result = run_flow(
+        "lut", "intdiv", BITWIDTH, verify=False,
+        strategy="exact", lut_synth="exact",
+        max_pebbles=0.5, exact_time_budget=EXACT_SAT_BUDGET,
+    )
+    elapsed = time.monotonic() - start
+    exact = result.report
+    rows.append(("exact", exact.qubits, exact.t_count))
+    validate_schedule(result.context["schedule"])
+
+    dominated = [
+        label
+        for label, report in bounded.items()
+        if exact.qubits <= report.qubits and exact.t_count < report.t_count
+    ]
+    text = format_table(
+        ["configuration", "qubits", "T-count"],
+        rows,
+        title=f"Exact vs greedy bounded on INTDIV({BITWIDTH}), k = 4",
+    )
+    text += (
+        f"\n\nexact runtime: {elapsed:.1f} s"
+        f"\nstrictly dominated: {', '.join(dominated) or 'none'}"
+    )
+    write_result(
+        "pebbling_exact",
+        text,
+        metrics={
+            "exact": {"qubits": exact.qubits, "t_count": exact.t_count},
+            "bounded": {
+                label: {"qubits": r.qubits, "t_count": r.t_count}
+                for label, r in bounded.items()
+            },
+            "dominated": dominated,
+            "exact_runtime_seconds": elapsed,
+            "pebble_engine": exact.extra.get("pebble_engine"),
+        },
+        config={
+            "design": "intdiv",
+            "bitwidth": BITWIDTH,
+            "k": 4,
+            "exact_time_limit": EXACT_TIME_LIMIT,
+            "exact_sat_budget": EXACT_SAT_BUDGET,
+        },
+    )
+
+    assert elapsed <= EXACT_TIME_LIMIT, (
+        f"exact configuration took {elapsed:.1f} s > {EXACT_TIME_LIMIT} s"
+    )
+    assert dominated, (
+        f"exact ({exact.qubits} qubits, {exact.t_count} T) dominates no "
+        f"greedy bounded point: {rows}"
+    )
+
+    benchmark.pedantic(
+        run_flow,
+        args=("lut", "intdiv", BITWIDTH),
+        kwargs={
+            "verify": False,
+            "strategy": "exact",
+            "lut_synth": "exact",
+            "max_pebbles": 0.5,
+            "exact_time_budget": EXACT_SAT_BUDGET,
+        },
+        rounds=1,
+        iterations=1,
+    )

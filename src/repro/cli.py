@@ -127,7 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument(
         "--strategy", default="bennett",
         help="cleanup/pebbling strategy (hierarchical: bennett/per_output; "
-        "lut: bennett/eager/bounded)",
+        "lut: any registered strategy — bennett/eager/bounded/exact)",
     )
     flow.add_argument(
         "-k", "--lut-size", type=int, default=4,
@@ -139,8 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
         "number of pebbles, or a fraction in (0, 1) of the LUT count",
     )
     flow.add_argument(
-        "--lut-synth", choices=["esop", "tbs"], default="esop",
-        help="per-LUT sub-synthesizer of the lut flow (default: esop)",
+        "--lut-synth", choices=["esop", "exact", "tbs"], default="esop",
+        help="per-LUT sub-synthesizer of the lut flow (default: esop; "
+        "exact = SAT-minimum ESOP for small LUTs)",
+    )
+    flow.add_argument(
+        "--exact-time-budget", type=float, metavar="SECONDS",
+        help="per-call SAT time budget of the lut flow's exact pebbling "
+        "strategy (default: the strategy's built-in budget)",
     )
     flow.add_argument(
         "--opt", metavar="PIPELINE",
@@ -367,6 +373,8 @@ def _command_flow(args: argparse.Namespace) -> int:
                 )
                 return 2
             parameters["max_pebbles"] = budget if 0 < budget < 1 else int(budget)
+        if args.exact_time_budget is not None:
+            parameters["exact_time_budget"] = args.exact_time_budget
     if args.verilog is not None:
         parameters["verilog"] = args.verilog.read_text()
 
@@ -520,7 +528,7 @@ def _command_explore(args: argparse.Namespace) -> int:
             print(
                 format_table(
                     ["Pareto point", "qubits", "T-count"],
-                    [(p.configuration, p.qubits, p.t_count) for p in front],
+                    [(p.label(), p.qubits, p.t_count) for p in front],
                     title="Pareto front",
                 )
             )

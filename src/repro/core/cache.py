@@ -37,8 +37,12 @@ __all__ = ["ResultCache", "cache_key"]
 #: (explicit Clifford+T mapping via ``map_model``, T-depth/depth metrics)
 #: stages, reports carry the ``t_depth`` / ``qc_depth`` / ``qc_qubits``
 #: fields, and the explicit mapping defaults to the 4-T relative-phase
-#: Toffoli chains.
-CACHE_FORMAT_VERSION = 5
+#: Toffoli chains.  Version 6: the ``lut`` flow gained the SAT-backed
+#: ``strategy=exact`` pebbling and ``lut_synth=exact`` synthesis (plus the
+#: ``exact_time_budget`` parameter and ``pebble_engine`` /
+#: ``pebble_optimal`` metrics), so old entries must not shadow runs of the
+#: new engines.
+CACHE_FORMAT_VERSION = 6
 
 
 def _canonical_parameters(parameters: Any) -> Any:

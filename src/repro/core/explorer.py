@@ -95,12 +95,26 @@ class FlowConfiguration:
 
 @dataclass(frozen=True)
 class ParetoPoint:
-    """A non-dominated (qubits, T-count) point with its provenance."""
+    """A non-dominated (qubits, T-count) point with its provenance.
+
+    When several configurations land on the *same* (qubits, T-count)
+    point, the front keeps one :class:`ParetoPoint` whose
+    ``configuration`` is the lexicographically smallest label and whose
+    ``aliases`` lists every other label that reached the point, so a
+    collapsed point still names all of its witnesses.
+    """
 
     configuration: str
     qubits: int
     t_count: int
     report: CostReport
+    aliases: Tuple[str, ...] = ()
+
+    def label(self) -> str:
+        """The configuration label, with any aliases appended."""
+        if not self.aliases:
+            return self.configuration
+        return f"{self.configuration} [= {', '.join(self.aliases)}]"
 
 
 def default_configurations() -> List[FlowConfiguration]:
@@ -161,6 +175,14 @@ _FLOW_DEFAULT_CONFIGURATIONS: Dict[str, List[FlowConfiguration]] = {
         FlowConfiguration("lut", (("strategy", "bounded"), ("max_pebbles", 0.25))),
         FlowConfiguration("lut", (("strategy", "bounded"), ("max_pebbles", 0.5))),
         FlowConfiguration("lut", (("strategy", "bounded"), ("max_pebbles", 0.75))),
+        FlowConfiguration(
+            "lut",
+            (
+                ("strategy", "exact"),
+                ("max_pebbles", 0.5),
+                ("lut_synth", "exact"),
+            ),
+        ),
     ],
 }
 
@@ -182,26 +204,31 @@ def pareto_front_of(reports: Dict[str, CostReport]) -> List[ParetoPoint]:
     Dominance rule: a report is dominated iff another report has
     ``qubits <=`` *and* ``t_count <=`` with at least one strict inequality.
     Configurations with *identical* (qubits, T-count) do not dominate each
-    other; the front keeps exactly one representative per distinct cost
-    point — the lexicographically smallest configuration label — so
-    redundant points never appear twice.
+    other; the front keeps exactly one :class:`ParetoPoint` per distinct
+    cost point — represented by the lexicographically smallest
+    configuration label, with every other coinciding label recorded in
+    :attr:`ParetoPoint.aliases` — so redundant points never appear twice
+    but no configuration silently disappears from the front.
     """
-    best_label_for_point: Dict[Tuple[int, int], str] = {}
+    labels_for_point: Dict[Tuple[int, int], List[str]] = {}
     for label, report in reports.items():
         point = (report.qubits, report.t_count)
-        incumbent = best_label_for_point.get(point)
-        if incumbent is None or label < incumbent:
-            best_label_for_point[point] = label
+        labels_for_point.setdefault(point, []).append(label)
     points = []
-    for (qubits, t_count), label in best_label_for_point.items():
-        report = reports[label]
+    for (qubits, t_count), labels in labels_for_point.items():
+        labels.sort()
+        report = reports[labels[0]]
         dominated = any(
             other.dominates(report)
             for other in reports.values()
             if (other.qubits, other.t_count) != (qubits, t_count)
         )
         if not dominated:
-            points.append(ParetoPoint(label, qubits, t_count, report))
+            points.append(
+                ParetoPoint(
+                    labels[0], qubits, t_count, report, tuple(labels[1:])
+                )
+            )
     points.sort(key=lambda point: (point.qubits, point.t_count))
     return points
 

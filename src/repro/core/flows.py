@@ -12,10 +12,11 @@ synthesis and hands the result to one of the reversible synthesis back-ends:
 * :func:`hierarchical_flow` — repeated ``resyn2`` analogue, ``xmglut``-style
   XMG mapping, hierarchical synthesis (Table IV),
 * :func:`lut_flow`          — k-LUT covering of the optimised AIG, a
-  reversible pebble game scheduled over the LUT DAG (``strategy`` one of
-  ``bennett`` / ``eager`` / ``bounded`` with a ``max_pebbles`` qubit
-  budget), and per-LUT ESOP/TBS synthesis of each schedule step (the
-  paper's LUT-based hierarchical synthesis).
+  reversible pebble game scheduled over the LUT DAG (``strategy`` is a
+  registered pebbling strategy — ``bennett`` / ``eager`` / ``bounded`` /
+  SAT-``exact`` — with a ``max_pebbles`` qubit budget), and per-LUT
+  ESOP/exact-ESOP/TBS synthesis of each schedule step (the paper's
+  LUT-based hierarchical synthesis).
 
 All flows share a common tail: an optional reversible peephole pipeline
 (``rev_opt``, e.g. ``"rev-default"``) over the synthesised cascade,
@@ -464,19 +465,30 @@ def _stage_lut_map(context: Dict[str, Any]) -> None:
 def _stage_pebble(context: Dict[str, Any]) -> None:
     from repro.reversible.pebbling import make_schedule
 
+    strategy = context.get("strategy", "bennett")
+    options: Dict[str, Any] = {}
+    if strategy == "exact" and context.get("exact_time_budget") is not None:
+        options["time_budget"] = float(context["exact_time_budget"])
     schedule = make_schedule(
         context["lut_mapping"],
-        strategy=context.get("strategy", "bennett"),
+        strategy=strategy,
         max_pebbles=context.get("max_pebbles"),
+        **options,
     )
     stats = schedule.stats()  # cached from make_schedule's validation
     context["schedule"] = schedule
-    context["extra_metrics"] = {
+    extra = {
         **context.get("extra_metrics", {}),
         "pebble_peak": stats.pebble_peak,
         "schedule_steps": stats.num_steps,
         "recomputes": schedule.num_recomputes(),
     }
+    if schedule.info:
+        # The exact engine's provenance: which SAT regime ran and whether
+        # move-optimality was proven within the time budget.
+        extra["pebble_engine"] = schedule.info.get("engine")
+        extra["pebble_optimal"] = bool(schedule.info.get("optimal"))
+    context["extra_metrics"] = extra
 
 
 def _stage_lut_synthesis(context: Dict[str, Any]) -> None:
@@ -495,12 +507,14 @@ def lut_flow(cost_model: str = "rtof", optimization_rounds: int = 2) -> Flow:
 
     Parameters consumed from the flow context: ``k`` (LUT size, default 4),
     ``max_cuts`` (priority-cut bound), ``cut_selection`` (``area`` —
-    default — or ``depth``), ``strategy`` (``bennett`` / ``eager`` /
-    ``bounded``), ``max_pebbles`` (pebble budget of the bounded strategy;
-    an int, or a float in ``(0, 1)`` as a fraction of the LUT count),
-    ``lut_synth`` (per-LUT sub-synthesizer, ``esop`` or ``tbs``) and
-    ``xmg_opt`` (optional XMG round-trip optimisation pipeline, see
-    :func:`_stage_xmg_roundtrip`).
+    default — or ``depth``), ``strategy`` (a registered pebbling strategy:
+    ``bennett`` / ``eager`` / ``bounded`` / ``exact``), ``max_pebbles``
+    (pebble budget of the bounded and exact strategies; an int, or a float
+    in ``(0, 1)`` as a fraction of the LUT count), ``exact_time_budget``
+    (wall-clock seconds the ``exact`` strategy may spend in SAT),
+    ``lut_synth`` (per-LUT sub-synthesizer, ``esop``, ``exact`` or
+    ``tbs``) and ``xmg_opt`` (optional XMG round-trip optimisation
+    pipeline, see :func:`_stage_xmg_roundtrip`).
     """
     return Flow(
         "lut",
@@ -548,7 +562,8 @@ def run_flow(
     ``off`` / ``sampled`` / ``full`` / ``auto`` (see
     :mod:`repro.verify.differential`).  ``parameters`` are forwarded to the
     stages (``p``, ``strategy``, ``lut_size``, ``k``, ``max_pebbles``,
-    ``lut_synth``, ``bidirectional``, ``verilog``, ``verify_samples``,
+    ``exact_time_budget``, ``lut_synth``, ``bidirectional``,
+    ``verilog``, ``verify_samples``,
     ``opt`` — an AIG pipeline spec such as ``"b;rw;rf"`` or ``"none"`` —
     ``xmg_opt`` — an XMG pipeline spec such as ``"xmg-default"`` for the
     hierarchical flow — ``rev_opt`` — a reversible peephole pipeline spec

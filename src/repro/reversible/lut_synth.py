@@ -10,11 +10,15 @@ value onto a primary-output line.  Output lines are drawn from the same
 free-line pool as the ancillas, so an output claimed after a cone has been
 uncomputed reuses a zeroed ancilla instead of a fresh qubit.
 
-Two sub-synthesizers realise a LUT block:
+Three sub-synthesizers realise a LUT block:
 
 * ``"esop"`` (default) — a PSDKRO ESOP of the LUT function; every cube
   becomes one mixed-polarity Toffoli with controls on the leaf lines and
   the ancilla as target.  The block only ever writes the target line.
+* ``"exact"`` — the SAT-exact minimum-cube ESOP of
+  :mod:`repro.logic.exact_esop` (memoized by truth table, PSDKRO on
+  solver-budget fallback), so a block is never larger than the ``"esop"``
+  one and usually saves Toffolis on ≤4-input functions.
 * ``"tbs"``  — transformation-based synthesis of the ``(x, a) -> (x, a ⊕
   f(x))`` permutation over the leaf lines plus the target; leaf lines may
   be written transiently but are restored by the end of the block.
@@ -47,13 +51,11 @@ from repro.reversible.pebbling import (
 __all__ = ["LUT_SYNTHESIZERS", "lut_synthesis", "synthesize_schedule"]
 
 #: The per-LUT sub-synthesizers understood by :func:`synthesize_schedule`.
-LUT_SYNTHESIZERS = ("esop", "tbs")
+LUT_SYNTHESIZERS = ("esop", "exact", "tbs")
 
 
-def _esop_block(truth: int, leaf_lines: List[int], target: int) -> List[ToffoliGate]:
-    """One Toffoli per PSDKRO cube, all targeting the ancilla."""
-    num_vars = len(leaf_lines)
-    cubes = psdkro_cubes(truth, num_vars)
+def _cubes_to_gates(cubes, leaf_lines: List[int], target: int) -> List[ToffoliGate]:
+    """One mixed-polarity Toffoli per cube, all targeting the ancilla."""
     gates = []
     for cube in cubes:
         controls = tuple(
@@ -61,6 +63,27 @@ def _esop_block(truth: int, leaf_lines: List[int], target: int) -> List[ToffoliG
         )
         gates.append(ToffoliGate(controls, target))
     return gates
+
+
+def _esop_block(truth: int, leaf_lines: List[int], target: int) -> List[ToffoliGate]:
+    """One Toffoli per PSDKRO cube, all targeting the ancilla."""
+    return _cubes_to_gates(
+        psdkro_cubes(truth, len(leaf_lines)), leaf_lines, target
+    )
+
+
+def _exact_block(truth: int, leaf_lines: List[int], target: int) -> List[ToffoliGate]:
+    """The SAT-exact minimum-cube ESOP of the LUT (memoized by truth table).
+
+    Never larger than the PSDKRO block: :func:`exact_esop_cubes` falls
+    back to the heuristic cover on solver-budget exhaustion or for
+    functions wider than its exact limit.
+    """
+    from repro.logic.exact_esop import exact_esop_cubes
+
+    return _cubes_to_gates(
+        exact_esop_cubes(truth, len(leaf_lines)), leaf_lines, target
+    )
 
 
 def _tbs_block(truth: int, leaf_lines: List[int], target: int) -> List[ToffoliGate]:
@@ -80,7 +103,7 @@ def _tbs_block(truth: int, leaf_lines: List[int], target: int) -> List[ToffoliGa
     return [gate.remapped(mapping) for gate in gates]
 
 
-_BLOCK_BUILDERS = {"esop": _esop_block, "tbs": _tbs_block}
+_BLOCK_BUILDERS = {"esop": _esop_block, "exact": _exact_block, "tbs": _tbs_block}
 
 
 def synthesize_schedule(

@@ -62,10 +62,13 @@ COMPUTE = "compute"
 UNCOMPUTE = "uncompute"
 COPY = "copy"
 
-#: The scheduling strategies accepted by :func:`make_schedule` (and by the
-#: ``lut`` flow's ``strategy`` parameter).  ``"per_output"`` is accepted as
-#: an alias of ``"eager"``, mirroring :mod:`repro.reversible.hierarchical`.
-PEBBLING_STRATEGIES = ("bennett", "eager", "bounded")
+#: The built-in scheduling strategies accepted by :func:`make_schedule`
+#: (and by the ``lut`` flow's ``strategy`` parameter).  ``"per_output"`` is
+#: accepted as an alias of ``"eager"``, mirroring
+#: :mod:`repro.reversible.hierarchical`.  Strategies live in the registry
+#: of :mod:`repro.reversible.strategies`; ``"exact"`` is defined by
+#: :mod:`repro.reversible.exact_pebbling`.
+PEBBLING_STRATEGIES = ("bennett", "eager", "bounded", "exact")
 
 
 class InvalidScheduleError(ValueError):
@@ -120,6 +123,10 @@ class PebbleSchedule:
     _stats: Optional[ScheduleStats] = field(
         default=None, repr=False, compare=False
     )
+    #: Free-form provenance metadata: the exact engine records which SAT
+    #: mode produced the schedule, whether optimality was proven, and its
+    #: solver effort here.  Never interpreted by the executor.
+    info: Dict = field(default_factory=dict, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.steps)
@@ -558,28 +565,83 @@ def make_schedule(
     mapping: LutMapping,
     strategy: str = "bennett",
     max_pebbles=None,
+    **options,
 ) -> PebbleSchedule:
     """Build and validate a schedule with the named strategy.
 
-    ``strategy`` is one of :data:`PEBBLING_STRATEGIES` (``"per_output"`` is
-    accepted as an alias of ``"eager"``).  ``max_pebbles`` is only
-    meaningful for ``"bounded"``; when omitted the budget defaults to half
-    the LUT count (raised to feasibility).
+    ``strategy`` is resolved through the registry of
+    :mod:`repro.reversible.strategies` — one of
+    :data:`PEBBLING_STRATEGIES` or a registered alias (``"per_output"``
+    maps to ``"eager"``); unknown names raise
+    :class:`~repro.reversible.strategies.UnknownStrategyError` (a
+    ``ValueError``) with a did-you-mean suggestion.  ``max_pebbles`` is
+    meaningful for ``"bounded"`` and ``"exact"``; strategy-specific
+    options (the exact engine's ``time_budget``) pass through as keyword
+    arguments.
     """
-    if strategy == "per_output":
-        strategy = "eager"
-    if strategy == "bennett":
-        schedule = bennett_schedule(mapping)
-    elif strategy == "eager":
-        schedule = eager_schedule(mapping)
-    elif strategy == "bounded":
-        if max_pebbles is None:
-            max_pebbles = 0.5
-        schedule = bounded_schedule(mapping, max_pebbles)
-    else:
-        raise ValueError(
-            f"unknown pebbling strategy {strategy!r}; expected one of "
-            f"{', '.join(PEBBLING_STRATEGIES)}"
-        )
+    from repro.reversible.strategies import get_strategy
+
+    schedule = get_strategy(strategy).build(
+        mapping, max_pebbles=max_pebbles, **options
+    )
     schedule.stats()  # validate once; callers reuse the cached statistics
     return schedule
+
+
+def _build_bennett(mapping, max_pebbles=None, **options):
+    _reject_options("bennett", options)
+    return bennett_schedule(mapping)
+
+
+def _build_eager(mapping, max_pebbles=None, **options):
+    _reject_options("eager", options)
+    return eager_schedule(mapping)
+
+
+def _build_bounded(mapping, max_pebbles=None, **options):
+    _reject_options("bounded", options)
+    return bounded_schedule(mapping, 0.5 if max_pebbles is None else max_pebbles)
+
+
+def _reject_options(strategy: str, options: Dict) -> None:
+    if options:
+        raise TypeError(
+            f"strategy {strategy!r} accepts no options, got "
+            f"{sorted(options)}"
+        )
+
+
+def _register_builtin_strategies() -> None:
+    from repro.reversible.strategies import (
+        PebblingStrategy,
+        register_strategy,
+    )
+
+    register_strategy(
+        PebblingStrategy(
+            "bennett",
+            _build_bennett,
+            "compute all, copy outputs, uncompute in reverse (qubit-max, "
+            "gate-min)",
+        )
+    )
+    register_strategy(
+        PebblingStrategy(
+            "eager",
+            _build_eager,
+            "per-output compute/copy/uncompute (REVS-style eager cleanup)",
+            aliases=("per_output",),
+        )
+    )
+    register_strategy(
+        PebblingStrategy(
+            "bounded",
+            _build_bounded,
+            "budgeted greedy with eviction and recompute-on-demand "
+            "(max_pebbles: absolute count or fraction of the LUT count; "
+            "default 0.5)",
+        )
+    )
+
+
+_register_builtin_strategies()

@@ -1,0 +1,159 @@
+"""Tests for exact small-LUT synthesis (SAT-minimum ESOP covers).
+
+:func:`exact_esop_cubes` promises two things the suite asserts over a
+seeded sample of 4-input functions: the cover computes exactly the
+requested truth table (XOR of the cube truth tables), and it is never
+larger than the PSDKRO cover it replaces — the engine's fallback *is* the
+PSDKRO cover, so "never larger" must hold on every path, including budget
+exhaustion and functions wider than the exact limit.
+
+The memo is regression-tested through its hit/miss counters, and the
+``lut_synth="exact"`` sub-synthesizer is checked end to end: block-level
+circuits stay equivalent to the source AIG while never using more gates
+than the ``"esop"`` blocks.
+"""
+
+import random
+
+import pytest
+
+from repro.logic.esop import psdkro_cubes
+from repro.logic.exact_esop import (
+    MAX_EXACT_VARS,
+    exact_esop_cubes,
+    exact_esop_stats,
+    reset_exact_esop_memo,
+)
+from repro.logic.truth_table import tt_mask
+from repro.reversible.lut_synth import synthesize_schedule
+from repro.reversible.pebbling import bennett_schedule
+from repro.logic.cuts import lut_map
+from repro.verify.differential import check_equivalent
+from repro.verify.fuzz import random_aig
+
+SEEDS = range(20)
+
+
+def sample_truth(seed, num_vars=4):
+    return random.Random(seed).getrandbits(1 << num_vars) & tt_mask(num_vars)
+
+
+def cover_truth(cubes):
+    truth = 0
+    for cube in cubes:
+        truth ^= cube.truth_table()
+    return truth
+
+
+@pytest.fixture
+def fresh_memo():
+    """Counter tests need a clean memo; property tests share it (the
+    covers are deterministic, so cross-test reuse only saves solver time)."""
+    reset_exact_esop_memo()
+    yield
+    reset_exact_esop_memo()
+
+
+class TestExactCoverProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cover_computes_the_truth_table(self, seed):
+        truth = sample_truth(seed)
+        cubes = exact_esop_cubes(truth, 4)
+        assert cover_truth(cubes) == truth, f"seed {seed}"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cover_never_larger_than_psdkro(self, seed):
+        truth = sample_truth(seed)
+        exact = exact_esop_cubes(truth, 4)
+        heuristic = psdkro_cubes(truth, 4)
+        assert len(exact) <= len(heuristic), f"seed {seed}"
+
+    def test_known_optima(self):
+        # XOR of four variables needs four single-literal cubes; a single
+        # minterm is one cube; the constant-zero function is empty.
+        parity = 0x6996
+        cubes = exact_esop_cubes(parity, 4)
+        assert len(cubes) == 4
+        assert sum(cube.num_literals() for cube in cubes) == 4
+        assert len(exact_esop_cubes(0x8000, 4)) == 1
+        assert exact_esop_cubes(0, 4) == []
+
+    def test_literal_refinement_never_regresses_the_cube_count(self):
+        for seed in SEEDS:
+            truth = sample_truth(seed)
+            exact = exact_esop_cubes(truth, 4)
+            # Re-solving the same function must reproduce the memoized
+            # optimum, not re-run the solver.
+            assert exact_esop_cubes(truth, 4) == exact
+
+    def test_wide_functions_fall_back_to_psdkro(self):
+        truth = sample_truth(3, num_vars=MAX_EXACT_VARS + 1)
+        cubes = exact_esop_cubes(truth, MAX_EXACT_VARS + 1)
+        assert cubes == psdkro_cubes(truth, MAX_EXACT_VARS + 1)
+
+    def test_exhausted_budget_falls_back_to_psdkro(self, fresh_memo):
+        truth = sample_truth(7)
+        cubes = exact_esop_cubes(truth, 4, time_budget=0.0)
+        assert cubes == psdkro_cubes(truth, 4)
+        assert exact_esop_stats()["fallbacks"] == 1
+
+
+class TestMemoBehaviour:
+    def test_hit_and_miss_counters(self, fresh_memo):
+        truth = sample_truth(0)
+        assert exact_esop_stats() == {
+            "hits": 0, "misses": 0, "optimal": 0, "fallbacks": 0
+        }
+        first = exact_esop_cubes(truth, 4)
+        stats = exact_esop_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 0
+        second = exact_esop_cubes(truth, 4)
+        stats = exact_esop_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+        assert first == second
+
+    def test_memoized_result_is_a_copy(self, fresh_memo):
+        truth = sample_truth(1)
+        first = exact_esop_cubes(truth, 4)
+        first.append(None)  # corrupting the returned list ...
+        second = exact_esop_cubes(truth, 4)
+        assert None not in second  # ... must not corrupt the memo
+
+    def test_reset_clears_both_memo_and_counters(self, fresh_memo):
+        exact_esop_cubes(sample_truth(2), 4)
+        reset_exact_esop_memo()
+        assert exact_esop_stats() == {
+            "hits": 0, "misses": 0, "optimal": 0, "fallbacks": 0
+        }
+
+
+class TestExactBlocks:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_blocks_stay_equivalent_to_the_aig(self, seed):
+        aig = random_aig(seed, num_pis=4, num_gates=12, num_pos=3)
+        mapping = lut_map(aig, k=4)
+        schedule = bennett_schedule(mapping)
+        circuit = synthesize_schedule(schedule, lut_synth="exact")
+        check = check_equivalent(aig, circuit, mode="full")
+        assert check.equivalent, f"seed {seed}: {check.message}"
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_blocks_never_use_more_gates_than_esop(self, seed):
+        aig = random_aig(seed, num_pis=4, num_gates=12, num_pos=3)
+        mapping = lut_map(aig, k=4)
+        schedule = bennett_schedule(mapping)
+        exact = synthesize_schedule(schedule, lut_synth="exact")
+        esop = synthesize_schedule(schedule, lut_synth="esop")
+        assert exact.num_gates() <= esop.num_gates(), f"seed {seed}"
+        assert exact.num_lines() == esop.num_lines()
+
+    def test_flow_level_exact_synthesis_verifies(self):
+        from repro.core.flows import run_flow
+
+        exact = run_flow(
+            "lut", "intdiv", 3, verify="full", lut_synth="exact"
+        )
+        esop = run_flow("lut", "intdiv", 3, verify="full", lut_synth="esop")
+        assert exact.report.verified
+        assert exact.report.t_count <= esop.report.t_count
+        assert exact.report.qubits == esop.report.qubits

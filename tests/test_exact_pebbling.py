@@ -1,0 +1,257 @@
+"""Metamorphic tests for the SAT-exact pebbling strategy and the registry.
+
+The ``exact`` strategy promises three machine-checkable orderings against
+the heuristics it replaces, all asserted here rather than trusted by
+construction:
+
+* every schedule it emits survives :func:`validate_schedule`,
+* at equal pebble budgets, ``exact`` never peaks above ``bounded``, which
+  never peaks above ``bennett``,
+* the synthesised gate count is monotone non-increasing in the budget.
+
+On top of that the suite pins the strategy registry (did-you-mean errors,
+aliases, collision rejection) and the engine's provenance metadata: which
+SAT regime ran (monolithic below :data:`MONOLITHIC_LUT_LIMIT` LUTs,
+windowed above) and whether optimality was proven within the time budget.
+"""
+
+import pytest
+
+from repro.logic.cuts import lut_map
+from repro.reversible.exact_pebbling import (
+    MONOLITHIC_LUT_LIMIT,
+    exact_schedule,
+)
+from repro.reversible.lut_synth import synthesize_schedule
+from repro.reversible.pebbling import (
+    bennett_schedule,
+    bounded_schedule,
+    make_schedule,
+    minimum_pebbles,
+    validate_schedule,
+)
+from repro.reversible.strategies import (
+    PebblingStrategy,
+    UnknownStrategyError,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    unregister_strategy,
+)
+from repro.verify.differential import check_equivalent
+from repro.verify.fuzz import random_aig
+
+#: Per-call SAT budget: generous enough that the small corpus mappings are
+#: solved to proven optimality, small enough to keep the suite fast.
+TIME_BUDGET = 5.0
+
+#: Seeds whose k=3 LUT DAGs stay small (fast monolithic solves).
+SMALL_SEEDS = (1, 2, 3, 6, 7, 8, 9, 11)
+
+#: Seeds whose k=3 LUT DAGs exceed the monolithic limit (windowed regime).
+LARGE_SEEDS = (0, 4)
+
+
+def mapping_for(seed, k=3, num_pis=4, num_gates=14, num_pos=3):
+    aig = random_aig(seed, num_pis=num_pis, num_gates=num_gates, num_pos=num_pos)
+    return lut_map(aig, k=k)
+
+
+def budget_range(mapping):
+    floor = max(1, minimum_pebbles(mapping))
+    return floor, max(floor, mapping.num_luts())
+
+
+class TestEveryExactScheduleValidates:
+    @pytest.mark.parametrize("seed", SMALL_SEEDS + LARGE_SEEDS)
+    def test_schedule_passes_the_validator(self, seed):
+        mapping = mapping_for(seed)
+        floor, ceiling = budget_range(mapping)
+        for budget in {floor, ceiling}:
+            schedule = exact_schedule(
+                mapping, max_pebbles=budget, time_budget=TIME_BUDGET
+            )
+            stats = validate_schedule(schedule)
+            assert stats.pebble_peak <= budget
+            assert schedule.strategy == "exact"
+            assert schedule.info.get("engine") in (
+                "trivial", "sat-monolithic", "sat-windowed"
+            )
+
+    @pytest.mark.parametrize("seed", SMALL_SEEDS[:4])
+    def test_make_schedule_threads_the_time_budget(self, seed):
+        mapping = mapping_for(seed)
+        schedule = make_schedule(
+            mapping, strategy="exact", time_budget=TIME_BUDGET
+        )
+        assert validate_schedule(schedule).num_copies == mapping.aig.num_pos()
+
+    def test_fractional_budget_resolves_like_bounded(self):
+        mapping = mapping_for(0)
+        schedule = exact_schedule(
+            mapping, max_pebbles=0.5, time_budget=TIME_BUDGET
+        )
+        bounded = bounded_schedule(mapping, 0.5)
+        assert schedule.max_pebbles == bounded.max_pebbles
+        assert validate_schedule(schedule).pebble_peak <= schedule.max_pebbles
+
+
+class TestPeakOrdering:
+    @pytest.mark.parametrize("seed", SMALL_SEEDS + LARGE_SEEDS)
+    def test_exact_peaks_at_or_below_bounded_at_or_below_bennett(self, seed):
+        mapping = mapping_for(seed)
+        floor, ceiling = budget_range(mapping)
+        for budget in {floor, (floor + ceiling) // 2, ceiling}:
+            budget = max(floor, budget)
+            exact = exact_schedule(
+                mapping, max_pebbles=budget, time_budget=TIME_BUDGET
+            )
+            bounded = bounded_schedule(mapping, budget)
+            bennett = bennett_schedule(mapping)
+            assert (
+                exact.pebble_peak()
+                <= bounded.pebble_peak()
+                <= bennett.pebble_peak()
+            ), f"seed {seed}, budget {budget}"
+
+
+class TestGateCountMonotoneInBudget:
+    @pytest.mark.parametrize("seed", SMALL_SEEDS)
+    def test_gate_count_never_increases_with_the_budget(self, seed):
+        mapping = mapping_for(seed)
+        floor, ceiling = budget_range(mapping)
+        gate_counts = [
+            synthesize_schedule(
+                exact_schedule(
+                    mapping, max_pebbles=budget, time_budget=TIME_BUDGET
+                )
+            ).num_gates()
+            for budget in range(floor, ceiling + 1)
+        ]
+        assert all(a >= b for a, b in zip(gate_counts, gate_counts[1:])), (
+            f"seed {seed}: gate counts not monotone: {gate_counts}"
+        )
+
+    @pytest.mark.parametrize("seed", SMALL_SEEDS[:5])
+    def test_exact_never_uses_more_gates_than_bounded(self, seed):
+        mapping = mapping_for(seed)
+        floor, ceiling = budget_range(mapping)
+        for budget in {floor, ceiling}:
+            exact = synthesize_schedule(
+                exact_schedule(
+                    mapping, max_pebbles=budget, time_budget=TIME_BUDGET
+                )
+            )
+            bounded = synthesize_schedule(bounded_schedule(mapping, budget))
+            assert exact.num_gates() <= bounded.num_gates(), (
+                f"seed {seed}, budget {budget}"
+            )
+
+
+class TestExactSynthesisEquivalence:
+    @pytest.mark.parametrize("seed", SMALL_SEEDS[:5])
+    def test_exact_schedule_synthesises_the_same_function(self, seed):
+        aig = random_aig(seed, num_pis=4, num_gates=14, num_pos=3)
+        mapping = lut_map(aig, k=3)
+        schedule = exact_schedule(mapping, time_budget=TIME_BUDGET)
+        circuit = synthesize_schedule(schedule)
+        check = check_equivalent(aig, circuit, mode="full")
+        assert check.equivalent, f"seed {seed}: {check.message}"
+
+
+class TestRegimesAndFallback:
+    @pytest.mark.parametrize("seed", SMALL_SEEDS[:4])
+    def test_small_dags_use_the_monolithic_engine(self, seed):
+        mapping = mapping_for(seed)
+        assert mapping.num_luts() <= MONOLITHIC_LUT_LIMIT
+        schedule = exact_schedule(mapping, time_budget=TIME_BUDGET)
+        assert schedule.info["engine"] == "sat-monolithic"
+        assert "moves" in schedule.info
+
+    @pytest.mark.parametrize("seed", LARGE_SEEDS)
+    def test_large_dags_use_the_windowed_engine(self, seed):
+        mapping = mapping_for(seed)
+        assert mapping.num_luts() > MONOLITHIC_LUT_LIMIT
+        schedule = exact_schedule(
+            mapping, max_pebbles=0.5, time_budget=TIME_BUDGET
+        )
+        assert schedule.info["engine"] == "sat-windowed"
+        assert schedule.info["windows"] >= schedule.info["windows_improved"]
+        # The windowed engine only ever accepts strictly cheaper windows,
+        # so it never loses to its own greedy seed.
+        seed_circuit = synthesize_schedule(bounded_schedule(mapping, 0.5))
+        circuit = synthesize_schedule(schedule)
+        assert circuit.num_gates() <= seed_circuit.num_gates()
+
+    @pytest.mark.parametrize("seed", (SMALL_SEEDS[0],) + LARGE_SEEDS[:1])
+    def test_exhausted_time_budget_degrades_to_a_valid_schedule(self, seed):
+        mapping = mapping_for(seed)
+        schedule = exact_schedule(mapping, time_budget=0.0)
+        stats = validate_schedule(schedule)
+        assert stats.pebble_peak <= schedule.max_pebbles
+        assert schedule.info.get("optimal") in (False, True)
+
+    def test_lut_free_mapping_is_trivial(self):
+        # Seed 5's outputs are all PI- or constant-driven: no LUT to pebble.
+        mapping = mapping_for(5)
+        assert mapping.num_luts() == 0
+        schedule = exact_schedule(mapping, time_budget=TIME_BUDGET)
+        assert schedule.info == {"engine": "trivial", "optimal": True}
+        assert validate_schedule(schedule).num_copies == mapping.aig.num_pos()
+
+
+class TestStrategyRegistry:
+    def test_builtins_are_registered(self):
+        names = {strategy.name for strategy in available_strategies()}
+        assert {"bennett", "bounded", "eager", "exact"} <= names
+
+    def test_alias_resolves_to_the_canonical_strategy(self):
+        assert get_strategy("per_output") is get_strategy("eager")
+
+    def test_unknown_name_raises_with_a_suggestion(self):
+        with pytest.raises(UnknownStrategyError, match="did you mean 'exact'"):
+            get_strategy("exat")
+        try:
+            get_strategy("exat")
+        except UnknownStrategyError as exc:
+            assert exc.unknown_name == "exat"
+            assert exc.suggestion == "exact"
+
+    def test_unknown_strategy_is_a_value_error_in_make_schedule(self):
+        mapping = mapping_for(1)
+        with pytest.raises(ValueError, match="unknown pebbling strategy"):
+            make_schedule(mapping, strategy="exat")
+
+    def test_registration_collision_is_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_strategy(
+                PebblingStrategy("bennett", lambda mapping, **kw: None)
+            )
+
+    def test_register_and_unregister_a_custom_strategy(self):
+        def build(mapping, max_pebbles=None):
+            return bennett_schedule(mapping)
+
+        strategy = PebblingStrategy(
+            "custom-test", build, "test-only strategy", aliases=("ct",)
+        )
+        register_strategy(strategy)
+        try:
+            assert get_strategy("ct") is strategy
+            schedule = make_schedule(mapping_for(1), strategy="custom-test")
+            assert validate_schedule(schedule)
+        finally:
+            unregister_strategy("custom-test")
+        with pytest.raises(UnknownStrategyError):
+            get_strategy("custom-test")
+        with pytest.raises(UnknownStrategyError):
+            get_strategy("ct")
+
+    def test_unregistering_an_unknown_name_raises(self):
+        with pytest.raises(UnknownStrategyError):
+            unregister_strategy("never-registered")
+
+    def test_stray_options_are_rejected_by_the_builder(self):
+        mapping = mapping_for(1)
+        with pytest.raises(TypeError):
+            make_schedule(mapping, strategy="bennett", time_budget=1.0)

@@ -286,6 +286,33 @@ class TestParetoDeduplication:
             ("a", 8, 100),  # lexicographically smallest duplicate survives
         ]
 
+    def test_collapsed_point_records_its_aliases(self):
+        # Regression: distinct strategies landing on the same (qubits,
+        # T-count) point used to appear as duplicate front entries (the
+        # bounded(0.25)/bounded(0.5) pair); they must collapse to one
+        # labeled point carrying the other configurations as aliases.
+        reports = {
+            "lut(strategy=bounded, max_pebbles=0.25)": self.build_report("lut", 9, 300),
+            "lut(strategy=bounded, max_pebbles=0.5)": self.build_report("lut", 9, 300),
+            "lut(strategy=eager)": self.build_report("lut", 9, 300),
+            "lut(strategy=bennett)": self.build_report("lut", 12, 280),
+        }
+        front = pareto_front_of(reports)
+        assert len(front) == 2
+        merged = front[0]
+        assert merged.configuration == "lut(strategy=bounded, max_pebbles=0.25)"
+        assert merged.aliases == (
+            "lut(strategy=bounded, max_pebbles=0.5)",
+            "lut(strategy=eager)",
+        )
+        assert merged.label() == (
+            "lut(strategy=bounded, max_pebbles=0.25) "
+            "[= lut(strategy=bounded, max_pebbles=0.5), lut(strategy=eager)]"
+        )
+        solo = front[1]
+        assert solo.aliases == ()
+        assert solo.label() == "lut(strategy=bennett)"
+
     def test_dominated_points_removed(self):
         reports = {
             "good": self.build_report("esop", 8, 100),
