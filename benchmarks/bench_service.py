@@ -1,0 +1,247 @@
+"""Synthesis-as-a-service benchmark: shared cache, concurrency, drain.
+
+The job server's reason to exist over the CLI is the *shared* result
+cache: any configuration any client ever computed is free for every later
+job.  This bench drives a real server over a real socket and gates the
+three service-level claims:
+
+* a re-submitted sweep (>= 20 configurations) executes **zero** flows —
+  every outcome is a cache hit, proven by the cache's hit counters,
+* concurrent clients (>= 2) both complete and both receive the *correct*
+  Pareto fronts, i.e. exactly what a direct in-process
+  :class:`ExplorationEngine` run of the same sweep produces,
+* graceful shutdown drains in-flight jobs without losing a single
+  completed result.
+
+Writes ``BENCH_service.json`` with cold/warm latencies and the counter
+evidence.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from conftest import write_result
+from repro.core.explorer import ExplorationEngine, pareto_front_of
+from repro.service import start_in_thread
+from repro.service.jobs import JobSpec
+from repro.utils.tables import format_table
+
+#: >= 20 configurations: (7 esop + 3 hierarchical + 1 symbolic) x 2 widths.
+SWEEPS = [
+    "esop:p=0,1,2,3,4,5,6",
+    "hierarchical:strategy=bennett,eager,per_output",
+    "symbolic",
+]
+BITWIDTHS = [2, 3]
+
+PAYLOAD = {
+    "designs": ["intdiv"],
+    "bitwidths": BITWIDTHS,
+    "sweeps": SWEEPS,
+    "verify": "off",
+}
+
+#: Aggregated across the tests below; the last one writes the JSON.
+RECORD = {"metrics": {}, "config": {"sweeps": SWEEPS, "bitwidths": BITWIDTHS}}
+
+
+def _request(url, method, path, body=None, headers=None):
+    host, port = url.split("//", 1)[1].split(":")
+    conn = http.client.HTTPConnection(host, int(port), timeout=600)
+    try:
+        conn.request(
+            method,
+            path,
+            body=json.dumps(body) if body is not None else None,
+            headers=headers or {},
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read() or b"null")
+    finally:
+        conn.close()
+
+
+def _submit_and_stream(url, payload, client_id):
+    """Submit one job, consume its chunked stream, return the done event."""
+    status, accepted = _request(
+        url, "POST", "/jobs", payload, headers={"X-Client-Id": client_id}
+    )
+    assert status == 202, accepted
+    host, port = url.split("//", 1)[1].split(":")
+    conn = http.client.HTTPConnection(host, int(port), timeout=600)
+    outcomes, done = 0, None
+    try:
+        conn.request("GET", accepted["stream_url"])
+        response = conn.getresponse()
+        assert response.status == 200
+        while True:
+            line = response.readline()
+            if not line:
+                break
+            event = json.loads(line)
+            if event["type"] == "outcome":
+                outcomes += 1
+                assert event["ok"], event.get("error")
+            elif event["type"] == "done":
+                done = event
+    finally:
+        conn.close()
+    assert done is not None and done["state"] == "done"
+    assert outcomes == accepted["num_tasks"]
+    return accepted["id"], done
+
+
+def _expected_fronts():
+    """The ground truth: a direct engine run of the identical sweep."""
+    tasks = JobSpec.from_payload(PAYLOAD).tasks()
+    outcomes = ExplorationEngine(jobs=1, verify="off").run(tasks)
+    assert all(outcome.ok for outcome in outcomes)
+    fronts = []
+    by_instance = {}
+    for outcome in outcomes:
+        key = (outcome.task.design, outcome.task.bitwidth)
+        by_instance.setdefault(key, {})[
+            outcome.task.configuration.label()
+        ] = outcome.report
+    for (design, bitwidth), labelled in sorted(by_instance.items()):
+        fronts.append(
+            {
+                "design": design,
+                "bitwidth": bitwidth,
+                "points": [
+                    {
+                        "configuration": point.configuration,
+                        "aliases": list(point.aliases),
+                        "qubits": point.qubits,
+                        "t_count": point.t_count,
+                    }
+                    for point in pareto_front_of(labelled)
+                ],
+            }
+        )
+    return len(tasks), fronts
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    handle = start_in_thread(
+        cache=str(tmp_path_factory.mktemp("service-cache")), workers=2
+    )
+    yield handle
+    if handle.thread.is_alive():
+        handle.request_shutdown()
+        assert handle.join(timeout=120)
+
+
+@pytest.fixture(scope="module")
+def expected(service):
+    num_tasks, fronts = _expected_fronts()
+    assert num_tasks >= 20  # the bench's sweep-size gate
+    return num_tasks, fronts
+
+
+def test_warm_resubmission_executes_zero_flows(benchmark, service, expected):
+    num_tasks, fronts = expected
+    cache = service.manager.cache
+
+    cold_start = time.perf_counter()
+    _, cold_done = _submit_and_stream(service.url, PAYLOAD, "bench-cold")
+    cold_seconds = time.perf_counter() - cold_start
+    assert cold_done["summary"]["completed"] == num_tasks
+    assert cold_done["pareto"] == fronts
+    executed_before = service.manager.metrics.counter("flows_executed")
+    hits_before = cache.counters()["hits"]
+
+    warm_start = time.perf_counter()
+    _, warm_done = benchmark.pedantic(
+        _submit_and_stream,
+        args=(service.url, PAYLOAD, "bench-warm"),
+        rounds=1,
+        iterations=1,
+    )
+    warm_seconds = time.perf_counter() - warm_start
+
+    # The re-submitted sweep executed zero flows: all 22 outcomes came
+    # from the shared cache, and the hit counters prove it.
+    counters = cache.counters()
+    assert warm_done["summary"]["completed"] == num_tasks
+    assert warm_done["summary"]["cached"] == num_tasks
+    assert warm_done["pareto"] == fronts
+    assert service.manager.metrics.counter("flows_executed") == executed_before
+    assert counters["hits"] - hits_before >= num_tasks
+
+    RECORD["metrics"].update(
+        {
+            "num_tasks": num_tasks,
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "warm_speedup": round(cold_seconds / max(warm_seconds, 1e-9), 2),
+            "warm_flows_executed": 0,
+            "cache_hits": counters["hits"],
+            "cache_misses": counters["misses"],
+        }
+    )
+
+
+def test_concurrent_clients_get_correct_fronts(service, expected):
+    num_tasks, fronts = expected
+    results, errors = {}, []
+
+    def client(name):
+        try:
+            results[name] = _submit_and_stream(service.url, PAYLOAD, name)
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append((name, exc))
+
+    threads = [
+        threading.Thread(target=client, args=(f"client-{i}",)) for i in range(3)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=600)
+    assert not errors, errors
+    assert len(results) == 3
+    for _, done in results.values():
+        assert done["summary"]["completed"] == num_tasks
+        assert done["pareto"] == fronts  # every client saw the true front
+    RECORD["metrics"]["concurrent_clients"] = len(results)
+
+
+def test_graceful_shutdown_loses_no_completed_results(service, expected):
+    num_tasks, _ = expected
+    accepted = [
+        _request(
+            service.url, "POST", "/jobs", PAYLOAD, headers={"X-Client-Id": "s"}
+        )[1]
+        for _ in range(3)
+    ]
+    status, body = _request(service.url, "POST", "/shutdown", {})
+    assert status == 202 and body["drain"] is True
+    assert service.join(timeout=300)
+    assert service.drained is True
+    for entry in accepted:
+        job = service.manager.get(entry["id"])
+        assert job.state == "done"
+        assert job.completed == job.num_tasks == num_tasks
+    RECORD["metrics"].update(
+        {
+            "shutdown_drained": True,
+            "drained_jobs": len(accepted),
+            "jobs_total": service.manager.stats()["jobs"]["total"],
+        }
+    )
+
+    metrics = RECORD["metrics"]
+    text = format_table(
+        ["metric", "value"],
+        [[name, metrics[name]] for name in sorted(metrics)],
+        title="Synthesis service (shared cache, concurrency, drain)",
+    )
+    write_result("service", text, metrics=metrics, config=RECORD["config"])

@@ -303,6 +303,96 @@ def build_parser() -> argparse.ArgumentParser:
         "(--network is the historical spelling)",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the synthesis-as-a-service job server",
+        description="Long-running asyncio HTTP/JSON server over the "
+        "exploration engine: clients POST sweeps to /jobs, stream Pareto "
+        "updates from /jobs/<id>/stream, and share one content-addressed "
+        "result cache so no configuration is ever computed twice.",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8177, help="0 = ephemeral")
+    serve.add_argument(
+        "--cache", type=Path, metavar="DIR",
+        help="shared result cache directory (strongly recommended)",
+    )
+    serve.add_argument(
+        "--cache-max-entries", type=int, metavar="N",
+        help="bound the cache to N entries (LRU eviction by file mtime)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads = concurrently running jobs (default: 2)",
+    )
+    serve.add_argument(
+        "--engine-jobs", type=int, default=1, metavar="N",
+        help="per-job concurrency limit: worker processes one job's engine "
+        "may use (default: 1)",
+    )
+    serve.add_argument(
+        "--rate", type=float, metavar="R",
+        help="per-client token-bucket rate limit on submissions, in "
+        "jobs/second (default: unlimited)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=5, metavar="B",
+        help="token-bucket burst capacity (default: 5)",
+    )
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit a sweep to a running job server and stream results",
+        description="The client side of `repro serve`: POST one sweep as a "
+        "job, stream its outcome events (each carrying the Pareto front so "
+        "far), and print the final front.",
+    )
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8177", help="server base URL"
+    )
+    submit.add_argument("--design", default="intdiv")
+    submit.add_argument(
+        "--designs", nargs="+", metavar="DESIGN",
+        help="sweep several designs (overrides --design)",
+    )
+    submit.add_argument("-n", "--bitwidth", type=int, default=4)
+    submit.add_argument(
+        "--bitwidths", nargs="+", type=int, metavar="N",
+        help="sweep several bitwidths (overrides --bitwidth)",
+    )
+    submit.add_argument(
+        "--sweep", action="append", default=[], metavar="FLOW[:PARAM=V1,V2,...]",
+        help="configuration sweep, like explore --sweep (repeatable)",
+    )
+    submit.add_argument(
+        "--flow", choices=sorted(available_flows()),
+        help="submit this flow's default sweep instead of --sweep",
+    )
+    submit.add_argument(
+        "--verify", choices=["off", "sampled", "full", "auto"], default="off",
+        help="verification mode of the submitted job (default: off)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="per-configuration budget forwarded to the server",
+    )
+    submit.add_argument("--cost-model", default="rtof", choices=["rtof", "barenco"])
+    submit.add_argument(
+        "--client-id", metavar="ID",
+        help="rate-limiting identity sent as X-Client-Id",
+    )
+    submit.add_argument(
+        "--no-stream", action="store_true",
+        help="submit and print the job id without waiting for results",
+    )
+    submit.add_argument(
+        "--shutdown", action="store_true",
+        help="instead of submitting, ask the server to shut down gracefully",
+    )
+    submit.add_argument(
+        "--quiet", action="store_true", help="suppress per-configuration progress"
+    )
+
     designs = subparsers.add_parser("designs", help="print generated Verilog for a built-in design")
     designs.add_argument("--design", default="intdiv")
     designs.add_argument("-n", "--bitwidth", type=int, default=8)
@@ -674,6 +764,194 @@ def _command_passes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.core.cache import ResultCache
+    from repro.service import JobManager, RateLimiter, SynthesisServer
+
+    try:
+        cache = None
+        if args.cache is not None:
+            cache = ResultCache(args.cache, max_entries=args.cache_max_entries)
+        manager = JobManager(
+            cache=cache, workers=args.workers, max_engine_jobs=args.engine_jobs
+        )
+        limiter = RateLimiter(args.rate, burst=args.burst)
+        server = SynthesisServer(
+            manager, host=args.host, port=args.port, ratelimiter=limiter
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def _main() -> bool:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, server.request_shutdown)
+            except (NotImplementedError, ValueError):
+                pass  # non-POSIX platform or nested loop
+        print(
+            f"serving on http://{server.host}:{server.port} "
+            f"(workers={manager.workers}, "
+            f"cache={'on' if manager.cache is not None else 'off'}); "
+            "POST /shutdown or Ctrl-C to drain and stop",
+            flush=True,
+        )
+        return await server.serve_until_shutdown()
+
+    try:
+        drained = asyncio.run(_main())
+    except KeyboardInterrupt:
+        # Signal handler could not be installed: drain the pool directly.
+        drained = manager.shutdown(drain=True)
+    print("drained cleanly" if drained else "stopped with unfinished jobs")
+    return 0 if drained else 1
+
+
+def _submit_request(url, method, path, body=None, headers=None, timeout=60.0):
+    """One HTTP request against the job server; returns (status, bytes)."""
+    import http.client
+    import json as _json
+    from urllib.parse import urlparse
+
+    parsed = urlparse(url)
+    if parsed.scheme not in ("http", ""):
+        raise ValueError(f"unsupported scheme in {url!r} (http only)")
+    host = parsed.hostname or "127.0.0.1"
+    port = parsed.port or 80
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(
+            method,
+            path,
+            body=_json.dumps(body) if body is not None else None,
+            headers=headers or {},
+        )
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    import http.client
+    import json as _json
+    from urllib.parse import urlparse
+
+    headers = {}
+    if args.client_id:
+        headers["X-Client-Id"] = args.client_id
+
+    try:
+        if args.shutdown:
+            status, data = _submit_request(
+                args.url, "POST", "/shutdown", body={}, headers=headers
+            )
+            print(data.decode("utf-8", "replace").strip())
+            return 0 if status == 202 else 1
+
+        payload = {
+            "designs": args.designs or [args.design],
+            "bitwidths": args.bitwidths or [args.bitwidth],
+            "verify": args.verify,
+            "cost_model": args.cost_model,
+        }
+        if args.timeout is not None:
+            payload["timeout"] = args.timeout
+        if args.sweep:
+            payload["sweeps"] = args.sweep
+        elif args.flow is not None:
+            payload["flow"] = args.flow
+        status, data = _submit_request(
+            args.url, "POST", "/jobs", body=payload, headers=headers
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot reach server at {args.url}: {exc}", file=sys.stderr)
+        return 2
+    if status != 202:
+        print(
+            f"error: server rejected the job ({status}): "
+            f"{data.decode('utf-8', 'replace').strip()}",
+            file=sys.stderr,
+        )
+        return 1
+    accepted = _json.loads(data)
+    job_id, num_tasks = accepted["id"], accepted["num_tasks"]
+    print(f"submitted {job_id} ({num_tasks} configurations)")
+    if args.no_stream:
+        return 0
+
+    parsed = urlparse(args.url)
+    conn = http.client.HTTPConnection(
+        parsed.hostname or "127.0.0.1", parsed.port or 80, timeout=600
+    )
+    failures = 0
+    final_event = None
+    try:
+        conn.request("GET", accepted["stream_url"], headers=headers)
+        response = conn.getresponse()
+        done = 0
+        while True:
+            line = response.readline()
+            if not line:
+                break
+            event = _json.loads(line)
+            if event["type"] == "outcome":
+                done += 1
+                if event["ok"]:
+                    report = event["report"]
+                    detail = f"{report['qubits']} qubits, {report['t_count']} T"
+                    if event["cached"]:
+                        detail += " (cached)"
+                else:
+                    failures += 1
+                    detail = f"error: {event['error']}"
+                if not args.quiet:
+                    print(f"[{done}/{num_tasks}] {event['label']}: {detail}")
+            elif event["type"] == "done":
+                final_event = event
+    except OSError as exc:
+        print(f"error: stream interrupted: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        conn.close()
+    if final_event is None:
+        print("error: stream ended without a done event", file=sys.stderr)
+        return 1
+    for group in final_event["pareto"]:
+        print()
+        print(
+            format_table(
+                ["Pareto point", "qubits", "T-count"],
+                [
+                    (
+                        point["configuration"]
+                        + (
+                            f" [= {', '.join(point['aliases'])}]"
+                            if point["aliases"]
+                            else ""
+                        ),
+                        point["qubits"],
+                        point["t_count"],
+                    )
+                    for point in group["points"]
+                ],
+                title=(
+                    f"Pareto front of {group['design']}({group['bitwidth']})"
+                ),
+            )
+        )
+    state = final_event["state"]
+    if state != "done" or failures:
+        print(f"job finished as {state} with {failures} failure(s)")
+        return 1
+    return 0
+
+
 def _command_designs(args: argparse.Namespace) -> int:
     print(design_source(args.design, args.bitwidth), end="")
     return 0
@@ -706,6 +984,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "passes": _command_passes,
         "designs": _command_designs,
         "baselines": _command_baselines,
+        "serve": _command_serve,
+        "submit": _command_submit,
     }
     try:
         return handlers[args.command](args)

@@ -1,20 +1,32 @@
 """Content-addressed result cache for design space exploration.
 
 Exploration sweeps re-run the same flow configurations over and over —
-across engine invocations, across benchmark runs, across CLI sessions.  The
+across engine invocations, across benchmark runs, across CLI sessions and
+(since the job server exists) across concurrent service clients.  The
 :class:`ResultCache` persists every :class:`~repro.core.cost.CostReport`
 keyed by a digest of *what was actually computed*:
 
 * the Verilog source of the design instance (not just its name, so editing
   a design invalidates its entries),
-* the flow name and its parameters,
+* the flow name and its parameters, canonicalised recursively (sorted
+  dict keys, type-tagged scalars) so two semantically identical parameter
+  sets hash identically regardless of insertion order or dict/pair-list
+  spelling,
 * the cost model and whether the run was verified,
 * a cache-format version (bumped whenever report semantics change).
 
 Each entry is one small JSON file under the cache directory, so the cache
 is trivially inspectable, survives crashes entry-by-entry, and can be
 shared between processes without locking (writes go through a temp file +
-atomic rename).
+atomic rename).  A corrupt or truncated entry file is treated exactly like
+a missing one — :meth:`ResultCache.get` and ``in`` agree — and is unlinked
+on first access so it stops occupying an entry slot.
+
+With ``max_entries`` set the cache is bounded: after every write the
+oldest entries (least-recently-used, measured by file mtime — a cache hit
+refreshes the entry's mtime) are evicted until the bound holds, and the
+instance counts ``hits`` / ``misses`` / ``evictions`` for the service's
+metrics endpoint.
 """
 
 from __future__ import annotations
@@ -23,35 +35,83 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.cost import CostReport
 
-__all__ = ["ResultCache", "cache_key"]
+__all__ = ["ResultCache", "cache_key", "CACHE_FORMAT_VERSION"]
 
 #: Bump to invalidate all existing cache entries when the meaning of a
-#: report (or of a flow) changes incompatibly.  Version 5: every flow
-#: gained the ``rev-opt`` (reversible peephole pipeline) and ``resources``
-#: (explicit Clifford+T mapping via ``map_model``, T-depth/depth metrics)
-#: stages, reports carry the ``t_depth`` / ``qc_depth`` / ``qc_qubits``
-#: fields, and the explicit mapping defaults to the 4-T relative-phase
-#: Toffoli chains.  Version 6: the ``lut`` flow gained the SAT-backed
-#: ``strategy=exact`` pebbling and ``lut_synth=exact`` synthesis (plus the
-#: ``exact_time_budget`` parameter and ``pebble_engine`` /
-#: ``pebble_optimal`` metrics), so old entries must not shadow runs of the
-#: new engines.
-CACHE_FORMAT_VERSION = 6
+#: report (or of a flow) changes incompatibly.  Version 6: the ``lut``
+#: flow gained the SAT-backed ``strategy=exact`` pebbling and
+#: ``lut_synth=exact`` synthesis (plus the ``exact_time_budget`` parameter
+#: and ``pebble_engine`` / ``pebble_optimal`` metrics), so old entries
+#: must not shadow runs of the new engines.  Version 7: parameter
+#: canonicalisation became recursive and order-insensitive (dict- and
+#: list-valued parameters previously hashed by ``repr`` insertion order),
+#: so every key of a parameterised configuration potentially changed.
+CACHE_FORMAT_VERSION = 7
 
 
-def _canonical_parameters(parameters: Any) -> Any:
-    """Parameters in a deterministic, JSON-friendly shape."""
+def _canonical_value(value: Any) -> Any:
+    """A JSON-stable, order-insensitive shape of one parameter value.
+
+    Every value becomes a type-tagged JSON structure: dict items are
+    sorted by their canonicalised key (insertion order never leaks into
+    the cache key), sets are sorted, lists and tuples keep their
+    (semantic) order but collapse onto one tag, and scalars carry a type
+    tag so ``1`` / ``1.0`` / ``True`` / ``"1"`` stay distinct.  Unknown
+    objects fall back to ``repr`` — deterministic for the value types
+    flow parameters actually use.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return [type(value).__name__, value]
+    if isinstance(value, int):
+        return ["int", value]
+    if isinstance(value, float):
+        # repr() is the shortest round-trip representation, so equal
+        # floats canonicalise equally (and -0.0 stays distinct from 0.0).
+        return ["float", repr(value)]
+    if isinstance(value, dict):
+        items = [
+            [_canonical_value(key), _canonical_value(entry)]
+            for key, entry in value.items()
+        ]
+        items.sort(key=lambda item: json.dumps(item[0], sort_keys=True))
+        return ["dict", items]
+    if isinstance(value, (set, frozenset)):
+        elements = sorted(
+            (_canonical_value(entry) for entry in value),
+            key=lambda element: json.dumps(element, sort_keys=True),
+        )
+        return ["set", elements]
+    if isinstance(value, (list, tuple)):
+        return ["seq", [_canonical_value(entry) for entry in value]]
+    return ["repr", type(value).__name__, repr(value)]
+
+
+def _canonical_parameters(parameters: Any) -> List[List[Any]]:
+    """Parameters in a deterministic, JSON-friendly shape.
+
+    Accepts a dict or an iterable of ``(name, value)`` pairs; both
+    spellings of the same parameter set canonicalise identically.  Pairs
+    are sorted by parameter name only (never by value, so mixed-type
+    values cannot raise) with later duplicates winning, matching the
+    ``dict(parameters)`` semantics the flow runner applies.
+    """
     if isinstance(parameters, dict):
-        items = sorted(parameters.items())
+        items = list(parameters.items())
     else:
-        items = sorted(tuple(parameters))
-    return [[str(key), repr(value)] for key, value in items]
+        items = [tuple(pair) for pair in parameters]
+    merged: Dict[str, Any] = {}
+    for name, value in items:
+        merged[str(name)] = value
+    return [
+        [name, _canonical_value(value)] for name, value in sorted(merged.items())
+    ]
 
 
 def cache_key(
@@ -92,31 +152,79 @@ def cache_key(
 
 
 class ResultCache:
-    """Persistent store of flow results, one JSON file per entry."""
+    """Persistent store of flow results, one JSON file per entry.
 
-    def __init__(self, directory) -> None:
+    ``max_entries`` bounds the cache: after every :meth:`put` the
+    least-recently-used entries (by file mtime; hits refresh it) are
+    unlinked until at most ``max_entries`` remain.  The instance counts
+    ``hits`` / ``misses`` / ``evictions``; all counters are thread-safe,
+    and the file operations tolerate concurrent readers/writers/evictors
+    in other processes (atomic renames, unlink races ignored).
+    """
+
+    def __init__(self, directory, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._lock = threading.Lock()
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
-    def get(self, key: str) -> Optional[CostReport]:
-        """The cached report for ``key``, or ``None`` (counting hit/miss)."""
+    def _load(self, key: str) -> Tuple[Optional[CostReport], bool]:
+        """``(report, corrupt)`` — the entry, or why there is none.
+
+        ``corrupt`` is ``True`` when an entry file exists but cannot be
+        decoded into a report (truncated write, foreign file); both
+        :meth:`get` and :meth:`__contains__` build on this, so membership
+        and retrieval can never disagree.
+        """
         path = self._path(key)
         try:
-            data = json.loads(path.read_text())
+            text = path.read_text()
+        except OSError:
+            return None, False
+        try:
+            data = json.loads(text)
             report = CostReport.from_dict(data["report"])
-        except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
+        except (ValueError, KeyError, TypeError):
+            return None, True
+        return report, False
+
+    def get(self, key: str) -> Optional[CostReport]:
+        """The cached report for ``key``, or ``None`` (counting hit/miss).
+
+        A corrupt entry file counts as a miss and is unlinked, so it
+        neither satisfies later ``in`` checks nor occupies an entry slot
+        (``len``/eviction) forever.
+        """
+        report, corrupt = self._load(key)
+        if report is None:
+            if corrupt:
+                try:
+                    os.unlink(self._path(key))
+                except OSError:
+                    pass
+            with self._lock:
+                self.misses += 1
             return None
-        self.hits += 1
+        try:
+            # Refresh the entry's recency so bounded caches evict true LRU
+            # order, not insertion order.
+            os.utime(self._path(key))
+        except OSError:
+            pass
+        with self._lock:
+            self.hits += 1
         return report
 
     def put(self, key: str, report: CostReport, **metadata: Any) -> None:
-        """Persist a report under ``key`` (atomic write)."""
+        """Persist a report under ``key`` (atomic write), then evict."""
         entry = {
             "key": key,
             "version": CACHE_FORMAT_VERSION,
@@ -138,9 +246,45 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.max_entries is not None:
+            self._evict(keep=key)
+
+    def _evict(self, keep: Optional[str] = None) -> None:
+        """Unlink least-recently-used entries until ``max_entries`` holds.
+
+        The just-written ``keep`` entry is never evicted even if a clock
+        skew makes it look old.  Unlink races with other processes are
+        benign: whoever loses the race simply does not count the eviction.
+        """
+        entries = []
+        for path in self.directory.glob("*.json"):
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                continue  # concurrently evicted
+        excess = len(entries) - (self.max_entries or 0)
+        if excess <= 0:
+            return
+        entries.sort(key=lambda item: item[0])
+        protected = None if keep is None else self._path(keep)
+        for _, path in entries:
+            if excess <= 0:
+                break
+            if protected is not None and path == protected:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                excess -= 1  # someone else removed it; the bound still shrank
+                continue
+            with self._lock:
+                self.evictions += 1
+            excess -= 1
 
     def __contains__(self, key: str) -> bool:
-        return self._path(key).exists()
+        """Whether :meth:`get` would return a report (no counter effect)."""
+        report, _ = self._load(key)
+        return report is not None
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))
@@ -159,3 +303,17 @@ class ResultCache:
     def stats(self) -> Tuple[int, int]:
         """``(hits, misses)`` counted by this cache instance."""
         return self.hits, self.misses
+
+    def counters(self) -> Dict[str, Any]:
+        """All counters plus the current entry count and hit rate."""
+        with self._lock:
+            hits, misses, evictions = self.hits, self.misses, self.evictions
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "entries": len(self),
+            "max_entries": self.max_entries,
+            "hit_rate": (hits / total) if total else None,
+        }

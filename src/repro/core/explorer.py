@@ -353,6 +353,12 @@ class ConfigurationOutcome:
         return self.task.label()
 
 
+#: Error message of outcomes abandoned by an engine stop request (the
+#: graceful-drain hook); also the marker the pool path uses to tell a
+#: cancelled spec from a genuinely failed one.
+_CANCELLED = "cancelled: engine stop requested"
+
+
 # -- worker -------------------------------------------------------------------
 
 #: Shared frontend artifacts (bit-blasted AIGs), keyed by frontend id.
@@ -543,31 +549,50 @@ class ExplorationEngine:
         self.cache_hits = 0
         #: Failed configurations in the last :meth:`run`.
         self.failures = 0
+        #: Configurations abandoned by ``should_stop`` in the last :meth:`run`.
+        self.cancelled = 0
 
     # -- execution ------------------------------------------------------------
 
-    def run(self, tasks: Sequence[ExplorationTask]) -> List[ConfigurationOutcome]:
+    def run(
+        self,
+        tasks: Sequence[ExplorationTask],
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> List[ConfigurationOutcome]:
         """Run every task; outcomes are returned in task order."""
         tasks = list(tasks)
         slots: List[Optional[ConfigurationOutcome]] = [None] * len(tasks)
-        for index, outcome in self._run_indexed(tasks):
+        for index, outcome in self._run_indexed(tasks, should_stop):
             slots[index] = outcome
         return [outcome for outcome in slots if outcome is not None]
 
     def run_iter(
-        self, tasks: Sequence[ExplorationTask]
+        self,
+        tasks: Sequence[ExplorationTask],
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> Iterator[ConfigurationOutcome]:
-        """Run every task, yielding outcomes as they complete (streaming)."""
-        for _, outcome in self._run_indexed(tasks):
+        """Run every task, yielding outcomes as they complete (streaming).
+
+        ``should_stop`` is polled between configurations (the cancellation
+        hook of the job server's graceful drain): once it returns true, no
+        further flow starts and every not-yet-started task is yielded as a
+        cancelled outcome.  Cache hits are still served — they cost one
+        file read — and configurations already executing run to completion,
+        so a stopped sweep never loses a finished result.
+        """
+        for _, outcome in self._run_indexed(tasks, should_stop):
             yield outcome
 
     def _run_indexed(
-        self, tasks: Sequence[ExplorationTask]
+        self,
+        tasks: Sequence[ExplorationTask],
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> Iterator[Tuple[int, ConfigurationOutcome]]:
         """Run every task, yielding ``(task position, outcome)`` pairs."""
         self.executed = 0
         self.cache_hits = 0
         self.failures = 0
+        self.cancelled = 0
 
         tasks = list(tasks)
         # The Verilog sources are only needed for cache addressing and for
@@ -627,15 +652,39 @@ class ExplorationEngine:
         # the pool is what provides crash isolation and keeps SIGALRM out
         # of the calling process.
         if self.jobs == 1:
-            for spec in specs:
+            for position, spec in enumerate(specs):
+                if should_stop is not None and should_stop():
+                    yield from self._cancel_remaining(specs[position:], by_index)
+                    return
                 index, error, report = _execute_task(spec, frontends_by_id)
                 yield index, self._finish(
                     by_index[index], keys[index], error, report
                 )
             return
 
-        for index, error, report in self._run_pool(specs, frontends_by_id):
+        for index, error, report in self._run_pool(
+            specs, frontends_by_id, should_stop
+        ):
+            if report is None and error == _CANCELLED:
+                self.cancelled += 1
+                yield index, self._emit(
+                    ConfigurationOutcome(by_index[index], error=_CANCELLED)
+                )
+                continue
             yield index, self._finish(by_index[index], keys[index], error, report)
+
+    def _cancel_remaining(
+        self,
+        specs: Sequence[Dict[str, Any]],
+        by_index: Dict[int, ExplorationTask],
+    ) -> Iterator[Tuple[int, ConfigurationOutcome]]:
+        """Yield a cancelled outcome for every not-yet-started spec."""
+        for spec in specs:
+            index = spec["index"]
+            self.cancelled += 1
+            yield index, self._emit(
+                ConfigurationOutcome(by_index[index], error=_CANCELLED)
+            )
 
     #: A task that was in flight during this many pool crashes is assumed
     #: to be the crasher and recorded as failed instead of retried.
@@ -645,6 +694,7 @@ class ExplorationEngine:
         self,
         specs: Sequence[Dict[str, Any]],
         frontends_by_id: Dict[int, Dict[str, Any]],
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> Iterator[Tuple[int, str, Optional[CostReport]]]:
         """Execute task specs on a process pool, surviving dead workers.
 
@@ -662,8 +712,14 @@ class ExplorationEngine:
         queue = list(specs)
         suspicions: Dict[int, int] = {}
         while queue:
+            if should_stop is not None and should_stop():
+                for spec in queue:
+                    yield spec["index"], _CANCELLED, None
+                return
             before = len(queue)
-            queue, crashed = yield from self._drain_one_pool(queue, frontends_by_id)
+            queue, crashed = yield from self._drain_one_pool(
+                queue, frontends_by_id, should_stop
+            )
             if not crashed and len(queue) == before:
                 # The pool could not make any progress at all (e.g. worker
                 # processes cannot even start): fail the remainder rather
@@ -688,13 +744,17 @@ class ExplorationEngine:
         self,
         queue: List[Dict[str, Any]],
         frontends_by_id: Dict[int, Dict[str, Any]],
+        should_stop: Optional[Callable[[], bool]] = None,
     ):
         """Run specs on one pool; returns ``(unsubmitted, crashed)`` on a break.
 
         Keeps at most ``2 * jobs`` futures outstanding so that when the
         pool breaks, the set of specs whose futures errored — the crash
         suspects — is small; specs never submitted are retried without
-        suspicion.
+        suspicion.  Once ``should_stop`` returns true no further spec is
+        submitted; the outstanding futures are drained (their results are
+        not lost) and the unsubmitted remainder is returned to the caller,
+        which reports it as cancelled.
         """
         queue = list(queue)
         crashed: List[Dict[str, Any]] = []
@@ -705,8 +765,9 @@ class ExplorationEngine:
         ) as pool:
             futures: Dict[Any, Dict[str, Any]] = {}
             while queue or futures:
+                stopping = should_stop is not None and should_stop()
                 try:
-                    while queue and len(futures) < 2 * self.jobs:
+                    while queue and not stopping and len(futures) < 2 * self.jobs:
                         spec = queue.pop(0)
                         futures[pool.submit(_execute_task, spec)] = spec
                 except Exception:
@@ -716,6 +777,8 @@ class ExplorationEngine:
                     # suspicion; the in-flight ones are the suspects.
                     queue.insert(0, spec)
                     yield from self._salvage_outstanding(futures, crashed)
+                    return queue, crashed
+                if stopping and not futures:
                     return queue, crashed
                 done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
                 for future in done:

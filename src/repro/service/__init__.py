@@ -1,0 +1,46 @@
+"""Synthesis-as-a-service: a long-running job server over the engine.
+
+The paper's flows are expensive per configuration; the exploration engine
+already amortises that cost inside one process via parallelism and the
+content-addressed :class:`~repro.core.cache.ResultCache`.  This package
+makes the amortisation *shared*: a long-running, dependency-free HTTP/JSON
+service in front of :class:`~repro.core.explorer.ExplorationEngine`, so
+concurrent clients submit sweeps as jobs, stream Pareto-front updates as
+configurations finish, and never re-execute a configuration any client has
+ever computed.
+
+Layers (each importable on its own):
+
+:mod:`repro.service.jobs`
+    Job model and :class:`~repro.service.jobs.JobManager` — a worker-thread
+    pool draining a FIFO job queue through per-job engines that share one
+    bounded result cache; graceful shutdown drains in-flight jobs.
+:mod:`repro.service.ratelimit`
+    Per-client token-bucket rate limiting.
+:mod:`repro.service.metrics`
+    Thread-safe counters and latency reservoirs (p50/p95) backing the
+    ``/metrics`` endpoint.
+:mod:`repro.service.server`
+    The asyncio HTTP server (``asyncio.start_server``; no third-party web
+    framework): job submission, status, chunked streaming, metrics,
+    graceful shutdown.
+
+The CLI front ends are ``python -m repro serve`` (run a server) and
+``python -m repro submit`` (a small blocking client).
+"""
+
+from repro.service.jobs import Job, JobManager, JobSpec
+from repro.service.metrics import ServiceMetrics
+from repro.service.ratelimit import RateLimiter, TokenBucket
+from repro.service.server import SynthesisServer, start_in_thread
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "JobSpec",
+    "RateLimiter",
+    "ServiceMetrics",
+    "SynthesisServer",
+    "TokenBucket",
+    "start_in_thread",
+]

@@ -1,0 +1,112 @@
+"""Thread-safe service metrics: counters and latency quantiles.
+
+The job server's ``/metrics`` endpoint reports three kinds of numbers:
+
+* **counters** — monotonically increasing event counts (jobs submitted,
+  flows executed, requests rejected, ...), incremented from worker threads
+  and the asyncio handler alike;
+* **latency reservoirs** — bounded samples of observed durations (flow
+  execution, whole-job wall clock) summarised as count/p50/p95;
+* **external snapshots** — numbers owned elsewhere (the cache's
+  hit/miss/eviction counters, the manager's queue gauges) merged in at
+  snapshot time by the caller.
+
+Everything is stdlib-only and lock-protected; quantiles use the
+nearest-rank method over a bounded ring of recent samples, so a
+long-running server's metrics cost stays constant.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, Optional
+
+__all__ = ["LatencyReservoir", "ServiceMetrics", "quantile"]
+
+
+def quantile(samples: Iterable[float], q: float) -> Optional[float]:
+    """Nearest-rank ``q``-quantile of ``samples`` (``None`` when empty).
+
+    ``q`` is a fraction in ``[0, 1]``; the nearest-rank method returns an
+    actual observed sample, which keeps p50/p95 meaningful for the small
+    sample counts a freshly started server has.
+    """
+    import math
+
+    ordered = sorted(samples)
+    if not ordered:
+        return None
+    if not 0 <= q <= 1:
+        raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
+    rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
+    return ordered[rank - 1]
+
+
+class LatencyReservoir:
+    """A bounded ring of duration samples with nearest-rank quantiles."""
+
+    def __init__(self, maxlen: int = 1024) -> None:
+        if maxlen < 1:
+            raise ValueError("maxlen must be >= 1")
+        self._samples: Deque[float] = deque(maxlen=maxlen)
+        self._count = 0
+        self._total = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(float(seconds))
+            self._count += 1
+            self._total += float(seconds)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """``count`` / ``mean`` over all samples, p50/p95 over the ring."""
+        with self._lock:
+            samples = list(self._samples)
+            count, total = self._count, self._total
+        return {
+            "count": count,
+            "mean": (total / count) if count else None,
+            "p50": quantile(samples, 0.50),
+            "p95": quantile(samples, 0.95),
+        }
+
+
+class ServiceMetrics:
+    """Named counters plus named latency reservoirs, all thread-safe."""
+
+    def __init__(self, reservoir_size: int = 1024) -> None:
+        self._counters: Dict[str, int] = {}
+        self._latencies: Dict[str, LatencyReservoir] = {}
+        self._reservoir_size = reservoir_size
+        self._lock = threading.Lock()
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe(self, name: str, seconds: float) -> None:
+        with self._lock:
+            reservoir = self._latencies.get(name)
+            if reservoir is None:
+                reservoir = self._latencies[name] = LatencyReservoir(
+                    self._reservoir_size
+                )
+        reservoir.observe(seconds)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """``{"counters": {...}, "latency": {name: {count, mean, p50, p95}}}``."""
+        with self._lock:
+            counters = dict(self._counters)
+            latencies = dict(self._latencies)
+        return {
+            "counters": counters,
+            "latency": {
+                name: reservoir.snapshot() for name, reservoir in latencies.items()
+            },
+        }

@@ -1,0 +1,124 @@
+"""Per-client token-bucket rate limiting for the job server.
+
+Each client (identified by the ``X-Client-Id`` request header, falling
+back to the peer address) owns one :class:`TokenBucket`: ``burst`` tokens
+of capacity refilled continuously at ``rate`` tokens per second.  A
+request that finds no token is rejected with HTTP 429 instead of queueing,
+so one greedy client cannot starve the worker pool — the shared cache
+already makes its *repeated* sweeps free, the limiter bounds how fast it
+can submit *new* work.
+
+Buckets are created lazily and pruned once they are both full and idle,
+so a long-running server does not accumulate state for every client that
+ever connected.  Everything is monotonic-clock based and thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+__all__ = ["RateLimiter", "TokenBucket"]
+
+
+class TokenBucket:
+    """``burst``-capacity bucket refilled at ``rate`` tokens per second."""
+
+    def __init__(
+        self, rate: float, burst: float, clock=time.monotonic
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be > 0 tokens/second")
+        if burst < 1:
+            raise ValueError("burst must allow at least one token")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        now = self._clock()
+        with self._lock:
+            self._refill(now)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def available(self) -> float:
+        """Current token balance (after refill)."""
+        now = self._clock()
+        with self._lock:
+            self._refill(now)
+            return self._tokens
+
+    def idle_and_full(self) -> bool:
+        """Whether the bucket holds no state worth keeping."""
+        return self.available() >= self.burst
+
+
+class RateLimiter:
+    """Lazily created per-client token buckets.
+
+    ``rate``/``burst`` apply to every client identically; ``rate=None``
+    disables limiting (every check passes), which is the CLI default for
+    trusted local use.  ``max_clients`` bounds the table: when exceeded,
+    full-and-idle buckets are pruned first, and as a last resort the
+    oldest bucket is dropped (a dropped client restarts with a full
+    bucket — strictly more permissive, never less).
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: float = 5,
+        max_clients: int = 4096,
+        clock=time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.max_clients = max_clients
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate is not None
+
+    def check(self, client: str, tokens: float = 1.0) -> bool:
+        """Whether ``client`` may proceed (consuming ``tokens`` if so)."""
+        if self.rate is None:
+            return True
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                if len(self._buckets) >= self.max_clients:
+                    self._prune()
+                bucket = self._buckets[client] = TokenBucket(
+                    self.rate, self.burst, clock=self._clock
+                )
+        return bucket.try_acquire(tokens)
+
+    def _prune(self) -> None:
+        """Drop reclaimable buckets; called with the table lock held."""
+        for client in [
+            name for name, bucket in self._buckets.items() if bucket.idle_and_full()
+        ]:
+            del self._buckets[client]
+        while len(self._buckets) >= self.max_clients:
+            self._buckets.pop(next(iter(self._buckets)))
+
+    def snapshot(self) -> Tuple[int, bool]:
+        """``(tracked clients, enabled)`` for the metrics endpoint."""
+        with self._lock:
+            return len(self._buckets), self.enabled

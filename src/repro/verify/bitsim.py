@@ -317,6 +317,10 @@ def outputs_from_states(
     :meth:`ReversibleCircuit.evaluate` bit order).
     """
     output_lines = circuit.output_lines()
+    if not output_lines:
+        # np.array([]) would be shape (0,), not (0, W); downstream masking
+        # and first-difference scans need the word axis even when empty.
+        return np.zeros((0, states.shape[1]), dtype=np.uint64)
     return np.array(
         [states[output_lines[j]] for j in sorted(output_lines)], dtype=np.uint64
     )

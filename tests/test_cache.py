@@ -1,0 +1,272 @@
+"""Unit tests for the hardened result cache (repro.core.cache).
+
+Pins the three correctness properties the job server depends on:
+
+* cache keys are order-insensitive for structured parameter values
+  (regression: ``repr()`` canonicalisation hashed dicts/lists by
+  insertion order, and ``sorted()`` over mixed-type pair lists raised),
+* membership and retrieval agree for corrupt entries, which are unlinked
+  on first access (regression: ``in`` said yes, ``get`` said no, and the
+  dead file counted toward ``len``/eviction forever),
+* the bounded cache evicts true-LRU under concurrent multi-thread and
+  multi-process access without ever surfacing a partial entry.
+"""
+
+import json
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.core.cache import CACHE_FORMAT_VERSION, ResultCache, cache_key
+from repro.core.cost import CostReport
+
+
+def make_report(flow="esop", qubits=8, t_count=100):
+    return CostReport("intdiv", flow, 4, qubits, t_count, 10, 3, 0.5)
+
+
+def key_of(parameters, **overrides):
+    kwargs = dict(
+        source="module m; endmodule",
+        flow="lut",
+        bitwidth=4,
+        design="intdiv",
+    )
+    kwargs.update(overrides)
+    return cache_key(parameters=parameters, **kwargs)
+
+
+class TestCanonicalisation:
+    def test_dict_valued_parameter_ignores_insertion_order(self):
+        # Regression: repr()-based canonicalisation hashed {"a":1,"b":2}
+        # and {"b":2,"a":1} to different keys.
+        a = key_of({"weights": {"and": 1, "xor": 2}})
+        b = key_of({"weights": {"xor": 2, "and": 1}})
+        assert a == b
+
+    def test_nested_structures_ignore_order_at_every_level(self):
+        a = key_of({"cfg": {"outer": {"x": [1, 2], "y": {"p", "q"}}}})
+        b = key_of({"cfg": {"outer": {"y": {"q", "p"}, "x": [1, 2]}}})
+        assert a == b
+
+    def test_list_order_is_semantic(self):
+        assert key_of({"stages": [1, 2]}) != key_of({"stages": [2, 1]})
+
+    def test_mixed_type_pair_list_does_not_raise(self):
+        # Regression: sorted(tuple(parameters)) compared ("p", 0) against
+        # ("strategy", "bennett") by value and raised TypeError once names
+        # tied — and always put value order into the key.
+        key = key_of([("strategy", "bennett"), ("p", 0)])
+        assert key == key_of([("p", 0), ("strategy", "bennett")])
+        assert key == key_of({"strategy": "bennett", "p": 0})
+
+    def test_duplicate_pair_later_wins_like_dict(self):
+        assert key_of([("p", 0), ("p", 2)]) == key_of({"p": 2})
+
+    def test_scalar_types_stay_distinct(self):
+        keys = {
+            key_of({"p": value}) for value in (1, 1.0, True, "1", None)
+        }
+        assert len(keys) == 5
+
+    def test_key_depends_on_every_addressed_field(self):
+        base = key_of({})
+        assert key_of({}, flow="esop") != base
+        assert key_of({}, bitwidth=5) != base
+        assert key_of({}, design="newton") != base
+        assert key_of({}, source="module n; endmodule") != base
+        assert key_of({}, cost_model="tpar") != base
+        assert key_of({}, verify=False) != base
+
+    def test_verify_spellings_alias(self):
+        assert key_of({}, verify=True) == key_of({}, verify="auto")
+        assert key_of({}, verify=False) == key_of({}, verify="off")
+
+    def test_format_version_is_seven(self):
+        # The canonicalisation change invalidates old keys exactly once.
+        assert CACHE_FORMAT_VERSION == 7
+
+
+class TestCorruptEntries:
+    def test_contains_get_len_agree_on_corrupt_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("good", make_report())
+        (tmp_path / "bad.json").write_text("{not json")
+        (tmp_path / "worse.json").write_text(json.dumps({"report": {"x": 1}}))
+        # Regression: __contains__ returned True for entries get() failed
+        # on, and the corrupt file kept counting toward len() forever.
+        assert "bad" not in cache
+        assert "worse" not in cache
+        assert "good" in cache
+        assert cache.get("bad") is None
+        assert cache.get("worse") is None
+        assert not (tmp_path / "bad.json").exists()
+        assert not (tmp_path / "worse.json").exists()
+        assert len(cache) == 1
+        assert cache.clear() == 1
+
+    def test_corrupt_entry_counts_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "bad.json").write_text("][")
+        assert cache.get("bad") is None
+        assert cache.stats() == (0, 1)
+
+    def test_missing_entry_is_plain_miss_without_unlink_attempt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("absent") is None
+        assert "absent" not in cache
+        assert cache.stats() == (0, 1)
+
+    def test_roundtrip_preserves_report(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        report = CostReport(
+            "intdiv", "lut", 4, 8, 100, 10, 3, 0.5,
+            verified=True, t_depth=7, extra={"pebble_steps": 12.0},
+        )
+        cache.put("k", report, note="bench")
+        assert cache.get("k") == report
+        assert cache.stats() == (1, 0)
+
+
+class TestBoundedCache:
+    def test_max_entries_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_entries=0)
+
+    def test_eviction_is_lru_and_hits_refresh_recency(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        now = 1_000_000_000
+        cache.put("a", make_report())
+        os_utime(tmp_path / "a.json", now)
+        cache.put("b", make_report())
+        os_utime(tmp_path / "b.json", now + 10)
+        # Touch "a" so "b" becomes the LRU victim.
+        assert cache.get("a") is not None
+        os_utime(tmp_path / "a.json", now + 20)
+        cache.put("c", make_report())
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_just_written_entry_never_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=1)
+        cache.put("old", make_report())
+        # Make the new entry look ancient; the keep-guard must still win.
+        cache.put("new", make_report())
+        os_utime(tmp_path / "new.json", 0)
+        cache.put("new", make_report())
+        assert "new" in cache
+        assert len(cache) == 1
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for index in range(10):
+            cache.put(f"k{index}", make_report())
+        assert len(cache) == 10
+        assert cache.evictions == 0
+
+    def test_counters_snapshot(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=8)
+        cache.put("k", make_report())
+        cache.get("k")
+        cache.get("absent")
+        counters = cache.counters()
+        assert counters == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "entries": 1,
+            "max_entries": 8,
+            "hit_rate": 0.5,
+        }
+
+    def test_hit_rate_none_before_any_access(self, tmp_path):
+        assert ResultCache(tmp_path).counters()["hit_rate"] is None
+
+
+def os_utime(path, timestamp):
+    import os
+
+    os.utime(path, (timestamp, timestamp))
+
+
+def _process_worker(directory, key, rounds, barrier, failures):
+    """Hammer one shared key: read, rewrite, evict — from a subprocess."""
+    try:
+        cache = ResultCache(directory, max_entries=4)
+        barrier.wait(timeout=30)
+        for round_index in range(rounds):
+            cache.put(key, make_report(t_count=round_index))
+            cache.put(f"filler-{key}-{round_index % 6}", make_report())
+            report = cache.get(key)
+            # The shared key may have been evicted by a sibling, but a
+            # returned report must never be partial/corrupt.
+            if report is not None and report.design != "intdiv":
+                failures.put(f"partial entry observed: {report!r}")
+    except Exception as exc:  # pragma: no cover - failure reporting
+        failures.put(f"{type(exc).__name__}: {exc}")
+
+
+class TestConcurrency:
+    def test_threads_share_one_key_without_partial_reads(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=3)
+        stop = threading.Event()
+        errors = []
+
+        def writer(seed):
+            index = 0
+            while not stop.is_set():
+                cache.put("shared", make_report(t_count=seed * 1000 + index))
+                cache.put(f"filler-{seed}-{index % 4}", make_report())
+                index += 1
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    report = cache.get("shared")
+                except Exception as exc:  # noqa: BLE001 - recorded below
+                    errors.append(exc)
+                    return
+                if report is not None and report.flow != "esop":
+                    errors.append(AssertionError(repr(report)))
+                    return
+
+        threads = [threading.Thread(target=writer, args=(seed,)) for seed in (1, 2)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        threading.Event().wait(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not errors
+        # Eviction kept the bound (the in-flight writes allow tiny overshoot
+        # only between put() and its _evict(); at rest the bound holds).
+        cache.put("final", make_report())
+        assert len(cache) <= 3
+
+    def test_processes_share_directory_and_evict_racefully(self, tmp_path):
+        context = multiprocessing.get_context("spawn")
+        failures = context.Queue()
+        barrier = context.Barrier(3)
+        workers = [
+            context.Process(
+                target=_process_worker,
+                args=(str(tmp_path), "shared", 25, barrier, failures),
+            )
+            for _ in range(3)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+        assert failures.empty(), failures.get()
+        # Every process enforced max_entries=4; after the dust settles a
+        # single put restores the bound regardless of interleaving.
+        cache = ResultCache(tmp_path, max_entries=4)
+        cache.put("settle", make_report())
+        assert len(cache) <= 4
+        assert cache.get("settle") is not None

@@ -256,10 +256,13 @@ class TestCaching:
         cache.put("k1", report)
         assert cache.get("k1").metrics() == report.metrics()
         (tmp_path / "k2.json").write_text("not json {")
+        assert "k2" not in cache
         assert cache.get("k2") is None
         assert cache.stats() == (1, 1)
-        assert len(cache) == 2
-        assert cache.clear() == 2
+        # The corrupt entry is unlinked by the failed get, so it neither
+        # counts as an entry nor satisfies membership ever again.
+        assert len(cache) == 1
+        assert cache.clear() == 1
 
     def test_report_serialisation_roundtrip(self):
         report = CostReport(

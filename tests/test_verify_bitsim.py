@@ -139,6 +139,21 @@ class TestStructureSimulators:
                 got = (int(states[line, 0]) >> x) & 1
                 assert got == (reference >> line) & 1
 
+    def test_zero_output_circuit_keeps_word_axis(self):
+        # Regression: outputs_from_states built np.array([]) for circuits
+        # with no primary outputs, collapsing (0, W) to (0,) and breaking
+        # downstream masking/first-difference scans on the word axis.
+        circuit = ReversibleCircuit("no-outputs")
+        x0 = circuit.add_input_line(0)
+        x1 = circuit.add_input_line(1)
+        circuit.append(ToffoliGate.cnot(x0, x1))
+        batch = random_batch(2, 70, seed=9)  # 2 words wide
+        outputs = simulate_reversible(circuit, batch)
+        assert outputs.shape == (0, batch.num_words)
+        assert outputs.dtype == np.uint64
+        # Empty-output comparisons must still work along the word axis.
+        assert bitsim.first_difference(outputs, outputs.copy(), batch) is None
+
     def test_network_simulators_chunk_correctly(self, monkeypatch):
         # The network simulators process word columns in memory-bounded
         # chunks; force tiny chunks so a small batch crosses many
