@@ -368,11 +368,23 @@ _CANCELLED = "cancelled: engine stop requested"
 #: engines must never clobber each other's tables.
 _WORKER_FRONTENDS: Dict[int, Dict[str, Any]] = {}
 
+#: Staging slot for the fork-once handoff: the engine publishes the
+#: frontend table here *before* creating a fork-context pool, so every
+#: worker inherits it through the forked address space — zero pickling of
+#: AIGs, per worker or per task.  Platforms without ``fork`` pickle the
+#: table once per worker via the initializer args instead.
+_POOL_FRONTENDS: Dict[int, Dict[str, Any]] = {}
+
 
 def _set_worker_frontends(frontends: Dict[int, Dict[str, Any]]) -> None:
     """Install the shared frontend table in this (worker) process."""
     global _WORKER_FRONTENDS
     _WORKER_FRONTENDS = frontends
+
+
+def _adopt_pool_frontends() -> None:
+    """Fork-context pool initializer: adopt the inherited frontend table."""
+    _set_worker_frontends(_POOL_FRONTENDS)
 
 
 class _AlarmGuard:
@@ -509,8 +521,8 @@ class ExplorationEngine:
         out configuration is recorded as a failed outcome.
     share_frontend:
         Bit-blast each distinct design instance once and share the AIG
-        across all of its configurations (serial path; worker processes
-        receive the pickled AIG).
+        across all of its configurations (serial path; pool workers
+        inherit the table fork-once, see :meth:`_make_pool`).
     on_result:
         Optional callback invoked with each :class:`ConfigurationOutcome`
         as it completes — the streaming hook used by the CLI progress
@@ -551,6 +563,12 @@ class ExplorationEngine:
         self.failures = 0
         #: Configurations abandoned by ``should_stop`` in the last :meth:`run`.
         self.cancelled = 0
+        #: Size in bytes of the largest pickled task spec shipped to a
+        #: worker in the last pool :meth:`run` (0 for serial runs).  Task
+        #: specs carry only a frontend *id*, never the AIG itself, so this
+        #: stays small no matter how large the design is — the regression
+        #: tests and the kernel benchmark assert on it.
+        self.last_task_payload_bytes = 0
 
     # -- execution ------------------------------------------------------------
 
@@ -593,6 +611,7 @@ class ExplorationEngine:
         self.cache_hits = 0
         self.failures = 0
         self.cancelled = 0
+        self.last_task_payload_bytes = 0
 
         tasks = list(tasks)
         # The Verilog sources are only needed for cache addressing and for
@@ -662,6 +681,19 @@ class ExplorationEngine:
                 )
             return
 
+        import pickle
+
+        # Record the largest per-task payload the pool will ship.  Specs
+        # that cannot be pickled at all are skipped here — the pool itself
+        # turns them into per-task failures without aborting the sweep.
+        for spec in specs:
+            try:
+                size = len(pickle.dumps(spec))
+            except Exception:
+                continue
+            self.last_task_payload_bytes = max(
+                self.last_task_payload_bytes, size
+            )
         for index, error, report in self._run_pool(
             specs, frontends_by_id, should_stop
         ):
@@ -705,9 +737,10 @@ class ExplorationEngine:
         specs whose futures broke are counted as crash suspects; a spec in
         flight during :attr:`MAX_CRASH_SUSPICIONS` crashes is recorded as
         failed rather than retried, so a reliably crashing configuration
-        cannot restart pools forever.  The shared frontends are shipped
-        once per worker process (via the pool initializer), not once per
-        task spec.
+        cannot restart pools forever.  The shared frontends reach the
+        workers through the fork-once handoff of :meth:`_make_pool` (or
+        once per worker via the pool initializer on spawn platforms),
+        never once per task spec.
         """
         queue = list(specs)
         suspicions: Dict[int, int] = {}
@@ -758,11 +791,7 @@ class ExplorationEngine:
         """
         queue = list(queue)
         crashed: List[Dict[str, Any]] = []
-        with ProcessPoolExecutor(
-            max_workers=self.jobs,
-            initializer=_set_worker_frontends,
-            initargs=(frontends_by_id,),
-        ) as pool:
+        with self._make_pool(frontends_by_id) as pool:
             futures: Dict[Any, Dict[str, Any]] = {}
             while queue or futures:
                 stopping = should_stop is not None and should_stop()
@@ -804,6 +833,32 @@ class ExplorationEngine:
                     return queue, crashed
         return queue, crashed
 
+    def _make_pool(self, frontends_by_id: Dict[int, Dict[str, Any]]):
+        """A worker pool whose processes hold the shared frontend table.
+
+        On platforms with ``fork`` the table is published to a module
+        global before the pool starts and each worker inherits it through
+        the forked address space — the bit-blasted AIGs are never pickled,
+        neither per task nor per worker.  Elsewhere (``spawn`` platforms)
+        the table is pickled once per worker via the initializer args, the
+        historical behaviour.
+        """
+        import multiprocessing
+
+        if "fork" in multiprocessing.get_all_start_methods():
+            global _POOL_FRONTENDS
+            _POOL_FRONTENDS = frontends_by_id
+            return ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_adopt_pool_frontends,
+            )
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_set_worker_frontends,
+            initargs=(frontends_by_id,),
+        )
+
     @staticmethod
     def _salvage_outstanding(
         futures: Dict[Any, Dict[str, Any]],
@@ -832,10 +887,11 @@ class ExplorationEngine:
 
         Returns ``(instance -> frontend id, frontend id -> artifacts)``;
         task specs carry only the small integer id, and the artifact table
-        is shipped to each worker once.
+        reaches workers by fork inheritance (or one initializer pickle per
+        worker on spawn platforms) — see :meth:`_make_pool`.
 
         Known limitation: the bit-blasts run serially in the calling
-        process before any worker starts, and every worker receives the
+        process before any worker starts, and every worker holds the
         whole table.  For sweeps whose frontend cost rivals the flows
         themselves, pass ``share_frontend=False`` (CLI
         ``--no-shared-frontend``) to bit-blast per configuration inside

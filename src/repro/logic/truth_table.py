@@ -35,6 +35,13 @@ __all__ = [
     "tt_cofactor1",
     "tt_support",
     "tt_popcount",
+    "tt_num_words",
+    "tt_to_words",
+    "tt_from_words",
+    "tt_var_words",
+    "tt_cofactor0_words",
+    "tt_cofactor1_words",
+    "tt_support_words",
 ]
 
 
@@ -117,6 +124,118 @@ def tt_support(func: int, num_vars: int) -> List[int]:
 def tt_popcount(func: int) -> int:
     """Number of minterms on which the function is 1."""
     return bin(func).count("1")
+
+
+# ---------------------------------------------------------------------------
+# Single-output truth tables as packed uint64 word arrays
+#
+# Functions of more than ~8 variables make the big-int helpers above pay
+# for arbitrary-precision arithmetic on every cofactor; the ``*_words``
+# variants below hold the same truth table as a little-endian numpy uint64
+# array (word ``w`` covers minterms ``64*w .. 64*w + 63``) so cofactor and
+# support computation stay word-parallel.  The big-int helpers remain the
+# reference oracle; the property tests cross-check the two representations
+# on random functions.
+# ---------------------------------------------------------------------------
+
+def tt_num_words(num_vars: int) -> int:
+    """Number of uint64 words of a packed ``num_vars``-variable table."""
+    return 1 if num_vars <= 6 else 1 << (num_vars - 6)
+
+
+def tt_to_words(func: int, num_vars: int) -> np.ndarray:
+    """Pack an integer truth table into a little-endian uint64 word array."""
+    func &= tt_mask(num_vars)
+    num_words = tt_num_words(num_vars)
+    raw = func.to_bytes(8 * num_words, "little")
+    return np.frombuffer(raw, dtype="<u8").copy()
+
+
+def tt_from_words(words: np.ndarray, num_vars: int) -> int:
+    """Unpack a uint64 word array back into an integer truth table."""
+    value = int.from_bytes(np.ascontiguousarray(words, dtype="<u8").tobytes(),
+                           "little")
+    return value & tt_mask(num_vars)
+
+
+#: In-word projection patterns of variables 0..5 (variable ``v`` alternates
+#: in blocks of ``2**v`` bits, so for ``v < 6`` the pattern repeats in every
+#: 64-bit word).
+_WORD_VAR_PATTERNS = tuple(
+    np.uint64(tt_var(v, 6)) for v in range(6)
+)
+
+
+def tt_var_words(index: int, num_vars: int) -> np.ndarray:
+    """Projection function of variable ``index`` as a packed word array."""
+    if not 0 <= index < num_vars:
+        raise ValueError(f"variable index {index} out of range for {num_vars} vars")
+    num_words = tt_num_words(num_vars)
+    if index < 6:
+        pattern = (_WORD_VAR_PATTERNS[index] if num_vars >= 6
+                   else np.uint64(tt_var(index, num_vars)))
+        return np.full(num_words, pattern, dtype=np.uint64)
+    # Word w is all-ones exactly when bit (index - 6) of w is set.
+    high = (np.arange(num_words, dtype=np.uint64) >> np.uint64(index - 6)) & np.uint64(1)
+    return high * np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def tt_cofactor0_words(words: np.ndarray, var: int, num_vars: int) -> np.ndarray:
+    """Negative cofactor on a packed word array (still over ``num_vars`` vars)."""
+    if not 0 <= var < num_vars:
+        raise ValueError(f"variable index {var} out of range for {num_vars} vars")
+    words = np.asarray(words, dtype=np.uint64)
+    if var < 6:
+        high_mask = (_WORD_VAR_PATTERNS[var] if num_vars >= 6
+                     else np.uint64(tt_var(var, num_vars)))
+        low = words & ~high_mask
+        if num_vars < 6:
+            low &= np.uint64(tt_mask(num_vars))
+        return low | (low << np.uint64(1 << var))
+    block = 1 << (var - 6)
+    paired = words.reshape(-1, 2, block)
+    result = np.empty_like(paired)
+    result[:, 0] = paired[:, 0]
+    result[:, 1] = paired[:, 0]
+    return result.reshape(-1)
+
+
+def tt_cofactor1_words(words: np.ndarray, var: int, num_vars: int) -> np.ndarray:
+    """Positive cofactor on a packed word array (still over ``num_vars`` vars)."""
+    if not 0 <= var < num_vars:
+        raise ValueError(f"variable index {var} out of range for {num_vars} vars")
+    words = np.asarray(words, dtype=np.uint64)
+    if var < 6:
+        high_mask = (_WORD_VAR_PATTERNS[var] if num_vars >= 6
+                     else np.uint64(tt_var(var, num_vars)))
+        high = words & high_mask
+        return high | (high >> np.uint64(1 << var))
+    block = 1 << (var - 6)
+    paired = words.reshape(-1, 2, block)
+    result = np.empty_like(paired)
+    result[:, 0] = paired[:, 1]
+    result[:, 1] = paired[:, 1]
+    return result.reshape(-1)
+
+
+def tt_support_words(words: np.ndarray, num_vars: int) -> List[int]:
+    """Indices of variables a packed word-array table actually depends on."""
+    words = np.asarray(words, dtype=np.uint64)
+    support = []
+    for var in range(num_vars):
+        if var < 6:
+            high_mask = (_WORD_VAR_PATTERNS[var] if num_vars >= 6
+                         else np.uint64(tt_var(var, num_vars)))
+            shifted = (words >> np.uint64(1 << var)) ^ words
+            depends = bool(np.any(shifted & ~high_mask
+                                  & np.uint64(tt_mask(min(num_vars, 6)))))
+        else:
+            block = 1 << (var - 6)
+            paired = words.reshape(-1, 2, block)
+            depends = bool(np.any(paired[:, 0] != paired[:, 1]))
+        if depends:
+            support.append(var)
+    return support
 
 
 # ---------------------------------------------------------------------------

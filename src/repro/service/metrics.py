@@ -31,14 +31,18 @@ def quantile(samples: Iterable[float], q: float) -> Optional[float]:
     ``q`` is a fraction in ``[0, 1]``; the nearest-rank method returns an
     actual observed sample, which keeps p50/p95 meaningful for the small
     sample counts a freshly started server has.
+
+    ``q`` is validated before the empty-sample check, so an out-of-range
+    fraction raises even on a freshly started server's empty reservoirs
+    instead of passing silently until the first sample arrives.
     """
     import math
 
+    if not 0 <= q <= 1:
+        raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
     ordered = sorted(samples)
     if not ordered:
         return None
-    if not 0 <= q <= 1:
-        raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
     rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
     return ordered[rank - 1]
 

@@ -113,6 +113,22 @@ class TestEngineExecution:
         assert "no_such_design" in outcomes[1].error
         assert outcomes[1].report is None
 
+    def test_pool_tasks_do_not_serialize_the_frontend(self):
+        # Regression: pool dispatch used to pickle the shared AIG into every
+        # task spec.  With the fork-once handoff the per-task payload is just
+        # the configuration tuple — a few hundred bytes, not a network.
+        tasks = build_sweep("intdiv", 3, FAST_GRIDS)
+        engine = ExplorationEngine(jobs=2, verify=False)
+        outcomes = engine.run(tasks)
+        assert all(o.ok for o in outcomes)
+        assert 0 < engine.last_task_payload_bytes < 2048
+
+    def test_serial_runs_report_zero_payload(self):
+        tasks = build_sweep("intdiv", 3, FAST_GRIDS)
+        engine = ExplorationEngine(jobs=1, verify=False)
+        engine.run(tasks)
+        assert engine.last_task_payload_bytes == 0
+
     def test_error_isolation_in_pool(self):
         tasks = build_sweep(["intdiv", "no_such_design"], 3, [
             FlowConfiguration("esop", (("p", 0),)),

@@ -8,6 +8,8 @@ from repro.logic.aig import Aig, lit_node, lit_not
 from repro.logic.cuts import (
     Cut,
     cut_truth_table,
+    cut_truth_table_reference,
+    cut_truth_tables,
     enumerate_cuts,
     filter_dominated_cuts,
     lut_map,
@@ -140,13 +142,40 @@ class TestCutDominance:
             for node in aig.nodes():
                 if not aig.is_and(node):
                     continue
-                # At most max_cuts cuts plus the trivial one.
-                assert len(cuts[node]) <= max_cuts + 1
                 # The kept non-trivial cuts stay in priority order (sorted
                 # by size first), so the best cut heads the list.
                 sizes = [c.size() for c in cuts[node] if c.leaves != (node,)]
                 assert sizes == sorted(sizes)
                 assert all(size <= 4 for size in sizes)
+
+    def test_max_cuts_bound_counts_the_trivial_cut(self):
+        # Regression: the trivial cut used to be appended *after* the
+        # priority truncation, so every gate carried max_cuts + 1 cuts in
+        # violation of the documented "at most max_cuts" contract.
+        aig = build_adder_aig(4)
+        for max_cuts in (1, 2, 4, 8):
+            cuts = enumerate_cuts(aig, k=4, max_cuts=max_cuts)
+            for node, node_cuts in cuts.items():
+                assert len(node_cuts) <= max_cuts, (
+                    f"node {node} carries {len(node_cuts)} cuts with "
+                    f"max_cuts={max_cuts}"
+                )
+                if node and not aig.is_pi(node):
+                    # The trivial cut survives the bound, in last position.
+                    assert node_cuts[-1] == Cut(node, (node,))
+
+    def test_max_cuts_bound_does_not_change_the_best_cut(self):
+        # Tightening the bound by one must only drop the lowest-priority
+        # non-trivial cut, never reorder the head of the priority list.
+        aig = build_adder_aig(4)
+        loose = enumerate_cuts(aig, k=4, max_cuts=8)
+        for node, node_cuts in enumerate_cuts(aig, k=4, max_cuts=4).items():
+            assert node_cuts[0] == loose[node][0]
+
+    def test_max_cuts_must_be_positive(self):
+        aig = build_adder_aig(2)
+        with pytest.raises(ValueError):
+            enumerate_cuts(aig, k=4, max_cuts=0)
 
     def test_unknown_selection_policy_rejected(self):
         aig = build_adder_aig(2)
@@ -154,6 +183,70 @@ class TestCutDominance:
             enumerate_cuts(aig, k=4, selection="random")
         with pytest.raises(ValueError):
             lut_map(aig, k=4, selection="random")
+
+
+class TestCutTruthTableKernel:
+    def test_batch_matches_reference_on_all_cuts(self):
+        aig = build_adder_aig(4)
+        cuts = enumerate_cuts(aig, k=4)
+        batch = [c for node_cuts in cuts.values() for c in node_cuts]
+        assert cut_truth_tables(aig, batch) == [
+            cut_truth_table_reference(aig, c) for c in batch
+        ]
+
+    def test_single_cut_matches_reference(self):
+        aig = build_adder_aig(3)
+        cuts = enumerate_cuts(aig, k=3)
+        for node_cuts in cuts.values():
+            for cut in node_cuts:
+                assert cut_truth_table(aig, cut) == cut_truth_table_reference(
+                    aig, cut
+                )
+
+    def test_batch_handles_trivial_and_constant_cuts(self):
+        aig = build_adder_aig(2)
+        gate = next(n for n in aig.nodes() if aig.is_and(n))
+        batch = [Cut(0, ()), Cut(gate, (gate,))]
+        assert cut_truth_tables(aig, batch) == [0, 0b10]
+
+    def test_empty_batch(self):
+        assert cut_truth_tables(build_adder_aig(2), []) == []
+
+    def test_improper_cut_still_raises(self):
+        aig = build_adder_aig(2)
+        top = lit_node(aig.pos()[0])
+        with pytest.raises(ValueError):
+            cut_truth_table(aig, Cut(top, ()))
+
+    def test_multiword_cut_beyond_six_leaves(self):
+        # An 8-leaf cut needs a 256-bit table: four uint64 words per
+        # column in the batch kernel.
+        aig = Aig()
+        pis = [aig.add_pi() for _ in range(8)]
+        lit = pis[0]
+        for pi in pis[1:]:
+            lit = aig.create_and(lit, pi)
+        aig.add_po(lit)
+        cut = Cut(lit_node(lit), tuple(lit_node(pi) for pi in pis))
+        expected = cut_truth_table_reference(aig, cut)
+        assert expected == 1 << 255  # AND of 8 inputs
+        assert cut_truth_tables(aig, [cut]) == [expected]
+        assert cut_truth_table(aig, cut) == expected
+
+    def test_kernel_cache_invalidates_on_growth(self):
+        aig = build_adder_aig(2)
+        cuts = enumerate_cuts(aig, k=2)
+        batch = [c for node_cuts in cuts.values() for c in node_cuts]
+        first = cut_truth_tables(aig, batch)
+        # Growing the network must rebuild the cached kernel, not reuse
+        # stale arrays.
+        a, b = aig.add_pi(), aig.add_pi()
+        new_gate = aig.create_xor(a, b)
+        aig.add_po(new_gate)
+        new_cut = Cut(lit_node(new_gate), (lit_node(a), lit_node(b)))
+        assert cut_truth_tables(aig, batch + [new_cut]) == first + [
+            cut_truth_table_reference(aig, new_cut)
+        ]
 
 
 class TestAreaSelection:

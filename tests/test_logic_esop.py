@@ -11,6 +11,9 @@ from repro.logic.esop import (
     esop_from_columns,
     esop_from_truth_table,
     minimize_esop,
+    psdkro_clear_cache,
+    psdkro_cubes,
+    psdkro_cubes_reference,
 )
 from repro.logic.truth_table import TruthTable, tt_mask
 
@@ -90,6 +93,23 @@ class TestEsopExtraction:
         cover = esop_from_columns([parity], 4)
         assert cover.num_terms() == 4
         assert cover.max_literals() == 1
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=100)
+    def test_fast_extractor_matches_reference(self, func):
+        # psdkro_cubes is a memoised rewrite of the recursive reference
+        # extractor; the covers must be cube-for-cube identical.
+        assert psdkro_cubes(func, 5) == psdkro_cubes_reference(func, 5)
+
+    def test_clear_cache_is_correctness_neutral(self):
+        func = 0b0110_1001
+        before = psdkro_cubes(func, 3)
+        psdkro_clear_cache()
+        assert psdkro_cubes(func, 3) == before
+
+    def test_truth_is_masked_to_num_vars(self):
+        # High garbage bits beyond 2^num_vars minterms must be ignored.
+        assert psdkro_cubes(0b1111_0110, 2) == psdkro_cubes(0b0110, 2)
 
     def test_shared_cube_extraction(self):
         # Both outputs equal x0 AND x1: the cube must be shared.

@@ -65,6 +65,17 @@ class TestQuantile:
         with pytest.raises(ValueError):
             quantile([1.0], 1.5)
 
+    def test_invalid_fraction_rejected_even_on_empty_samples(self):
+        # Regression: the empty-sample early return used to run before the
+        # fraction check, so a freshly started server's empty reservoirs
+        # silently accepted out-of-range quantiles.
+        with pytest.raises(ValueError):
+            quantile([], 1.5)
+        with pytest.raises(ValueError):
+            quantile([], -0.1)
+        assert quantile([], 0.0) is None
+        assert quantile([], 1.0) is None
+
     def test_reservoir_snapshot(self):
         reservoir = LatencyReservoir(maxlen=4)
         for value in (1.0, 2.0, 3.0):
