@@ -9,14 +9,57 @@ conversion to/from explicit truth tables.
 
 Nodes are referenced by integer handles.  Handle 0 is the constant FALSE,
 handle 1 the constant TRUE.  Variable 0 is the topmost variable in the
-order.
+order.  Node attributes live in parallel arrays indexed by handle (not in
+per-node objects), so traversals are cheap array reads.
+
+The walks on the synthesis hot path are iterative: :meth:`BddManager._apply`,
+:meth:`~BddManager.apply_not`, :meth:`~BddManager.restrict` and
+:meth:`~BddManager.satcount` run on explicit worklists rather than Python
+recursion.  Truth-table expansion is a single memoised bottom-up sweep over
+the reachable nodes (``table(node) = (~var_tt & table(low)) | (var_tt &
+table(high))``), shared across all requested roots
+(:meth:`~BddManager.to_truth_tables`); wide instances run the sweep
+level-batched over packed NumPy ``uint64`` words.  The original recursive /
+per-assignment implementations remain as ``*_reference`` oracles, pinned
+against the production paths by the property suite and
+``benchmarks/bench_symbolic_kernels.py``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 __all__ = ["BddManager"]
+
+#: Number of variables from which the truth-table sweep switches from
+#: big-int node tables to the level-batched NumPy word matrix.  Below the
+#: threshold one CPython big-int op per node beats the fixed per-level
+#: NumPy dispatch overhead (same trade-off as the PSDKRO word path).
+_WORD_SWEEP_MIN_VARS = 10
+
+#: Soft bound on the word-matrix bytes of one sweep chunk; wider truth
+#: tables are expanded in independent word-column blocks (bitwise ops never
+#: mix words, so column blocks are embarrassingly separable).
+_SWEEP_BYTES_LIMIT = 1 << 26
+
+
+def _projection_table(var: int, num_vars: int) -> int:
+    """Truth table (as a big int over ``2**num_vars`` bits) of variable ``var``.
+
+    Built by doubling instead of the linear block loop of
+    :func:`repro.logic.truth_table.tt_var`, so it stays cheap for the wide
+    tables the BDD sweep handles.
+    """
+    block = 1 << var
+    pattern = ((1 << block) - 1) << block  # one 0-run then one 1-run
+    span = block * 2
+    total = 1 << num_vars
+    while span < total:
+        pattern |= pattern << span
+        span *= 2
+    return pattern
 
 
 class BddManager:
@@ -101,20 +144,46 @@ class BddManager:
     # -- boolean connectives --------------------------------------------------
 
     def apply_not(self, f: int) -> int:
-        """Complement of a function."""
-        cached = self._not_cache.get(f)
-        if cached is not None:
-            return cached
-        if f == self.FALSE:
-            result = self.TRUE
-        elif f == self.TRUE:
-            result = self.FALSE
-        else:
+        """Complement of a function (iterative, memoised in the manager)."""
+        cache = self._not_cache
+        cache[self.FALSE] = self.TRUE
+        cache[self.TRUE] = self.FALSE
+        if f in cache:
+            return cache[f]
+        var, low, high = self._var, self._low, self._high
+        stack = [f]
+        while stack:
+            node = stack[-1]
+            if node in cache:
+                stack.pop()
+                continue
+            pending = [c for c in (low[node], high[node]) if c not in cache]
+            if pending:
+                stack.extend(pending)
+                continue
+            cache[node] = self._make_node(var[node], cache[low[node]], cache[high[node]])
+            stack.pop()
+        return cache[f]
+
+    def apply_not_reference(self, f: int) -> int:
+        """Recursive complement — the oracle for :meth:`apply_not`.
+
+        Bypasses the shared negation cache (it uses a private memo) so the
+        two implementations can be compared on equal terms.
+        """
+        cache: Dict[int, int] = {self.FALSE: self.TRUE, self.TRUE: self.FALSE}
+
+        def rec(node: int) -> int:
+            cached = cache.get(node)
+            if cached is not None:
+                return cached
             result = self._make_node(
-                self._var[f], self.apply_not(self._low[f]), self.apply_not(self._high[f])
+                self._var[node], rec(self._low[node]), rec(self._high[node])
             )
-        self._not_cache[f] = result
-        return result
+            cache[node] = result
+            return result
+
+        return rec(f)
 
     def apply_and(self, f: int, g: int) -> int:
         """Conjunction of two functions."""
@@ -166,11 +235,72 @@ class BddManager:
             raise ValueError(f"unknown operation {op!r}")
         return None
 
-    def _apply(self, op: str, f: int, g: int) -> int:
+    def _apply_resolved(self, op: str, f: int, g: int) -> Optional[int]:
+        """Result of ``op(f, g)`` when already terminal or cached, else None."""
         terminal = self._terminal_case(op, f, g)
         if terminal is not None:
             return terminal
-        if op in ("and", "or", "xor") and g < f:
+        if g < f:
+            f, g = g, f  # commutative: canonicalise the cache key
+        return self._apply_cache.get((op, f, g))
+
+    def _apply(self, op: str, f: int, g: int) -> int:
+        """Binary connective on an explicit worklist (no Python recursion).
+
+        Each frame carries its cofactor subproblems; a frame is combined
+        once both subresults are resolved (terminal or cached), which the
+        post-order push discipline guarantees.
+        """
+        resolved = self._apply_resolved(op, f, g)
+        if resolved is not None:
+            return resolved
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        cache = self._apply_cache
+        terminal_case = self._terminal_case
+        if g < f:
+            f, g = g, f
+        # Probe frames are (a, b) pairs (already canonicalised); expand
+        # frames additionally carry the cofactor subproblems computed during
+        # the probe, so cofactors are derived exactly once per pair.
+        stack: List[Tuple] = [(f, g)]
+        while stack:
+            frame = stack.pop()
+            if len(frame) == 2:
+                a, b = frame
+                if (op, a, b) in cache:
+                    continue
+                var_a, var_b = var_arr[a], var_arr[b]
+                var = var_a if var_a < var_b else var_b
+                a0, a1 = (low_arr[a], high_arr[a]) if var_a == var else (a, a)
+                b0, b1 = (low_arr[b], high_arr[b]) if var_b == var else (b, b)
+                stack.append((a, b, var, a0, b0, a1, b1))
+                for ca, cb in ((a1, b1), (a0, b0)):
+                    if terminal_case(op, ca, cb) is None:
+                        if cb < ca:
+                            ca, cb = cb, ca
+                        if (op, ca, cb) not in cache:
+                            stack.append((ca, cb))
+            else:
+                a, b, var, a0, b0, a1, b1 = frame
+                low = terminal_case(op, a0, b0)
+                if low is None:
+                    low = cache[(op, a0, b0) if a0 <= b0 else (op, b0, a0)]
+                high = terminal_case(op, a1, b1)
+                if high is None:
+                    high = cache[(op, a1, b1) if a1 <= b1 else (op, b1, a1)]
+                cache[(op, a, b)] = self._make_node(var, low, high)
+        return cache[(op, f, g)]
+
+    def _apply_reference(self, op: str, f: int, g: int) -> int:
+        """Recursive connective — the oracle for the iterative :meth:`_apply`.
+
+        Shares the manager's apply cache (both walks compute the same
+        canonical results), so interleaving the two is safe.
+        """
+        terminal = self._terminal_case(op, f, g)
+        if terminal is not None:
+            return terminal
+        if g < f:
             f, g = g, f  # commutative: canonicalise the cache key
         key = (op, f, g)
         cached = self._apply_cache.get(key)
@@ -182,8 +312,8 @@ class BddManager:
         f0, f1 = (self._low[f], self._high[f]) if var_f == var else (f, f)
         g0, g1 = (self._low[g], self._high[g]) if var_g == var else (g, g)
 
-        low = self._apply(op, f0, g0)
-        high = self._apply(op, f1, g1)
+        low = self._apply_reference(op, f0, g0)
+        high = self._apply_reference(op, f1, g1)
         result = self._make_node(var, low, high)
         self._apply_cache[key] = result
         return result
@@ -222,7 +352,41 @@ class BddManager:
     # -- structural operations ------------------------------------------------
 
     def restrict(self, f: int, var: int, value: bool) -> int:
-        """Cofactor of ``f`` with respect to ``var = value``."""
+        """Cofactor of ``f`` with respect to ``var = value`` (iterative)."""
+        if not 0 <= var < self.num_vars:
+            raise ValueError(f"variable index {var} out of range")
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        branch = high_arr if value else low_arr
+        cache: Dict[int, int] = {}
+
+        def resolved(node: int) -> Optional[int]:
+            if node <= 1 or var_arr[node] > var:
+                return node
+            if var_arr[node] == var:
+                return branch[node]
+            return cache.get(node)
+
+        result = resolved(f)
+        if result is not None:
+            return result
+        stack: List[Tuple[int, bool]] = [(f, False)]
+        while stack:
+            node, expand = stack.pop()
+            if expand:
+                cache[node] = self._make_node(
+                    var_arr[node], resolved(low_arr[node]), resolved(high_arr[node])
+                )
+                continue
+            if node in cache:
+                continue
+            stack.append((node, True))
+            for child in (high_arr[node], low_arr[node]):
+                if resolved(child) is None:
+                    stack.append((child, False))
+        return cache[f]
+
+    def restrict_reference(self, f: int, var: int, value: bool) -> int:
+        """Recursive cofactor — the oracle for :meth:`restrict`."""
         if not 0 <= var < self.num_vars:
             raise ValueError(f"variable index {var} out of range")
         cache: Dict[int, int] = {}
@@ -313,7 +477,38 @@ class BddManager:
         return node == self.TRUE
 
     def satcount(self, f: int) -> int:
-        """Number of satisfying assignments over all ``num_vars`` variables."""
+        """Number of satisfying assignments over all ``num_vars`` variables.
+
+        One iterative post-order pass over the reachable nodes; each cached
+        count covers the variables at the node's level and below, and the
+        levels skipped along an edge contribute a power-of-two factor.
+        """
+        if f == self.FALSE:
+            return 0
+        if f == self.TRUE:
+            return 1 << self.num_vars
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        cache: Dict[int, int] = {self.FALSE: 0, self.TRUE: 1}
+        stack: List[int] = [f]
+        while stack:
+            node = stack[-1]
+            if node in cache:
+                stack.pop()
+                continue
+            low, high = low_arr[node], high_arr[node]
+            pending = [c for c in (low, high) if c not in cache]
+            if pending:
+                stack.extend(pending)
+                continue
+            var = var_arr[node]
+            cache[node] = (cache[low] << (var_arr[low] - var - 1)) + (
+                cache[high] << (var_arr[high] - var - 1)
+            )
+            stack.pop()
+        return cache[f] << var_arr[f]
+
+    def satcount_reference(self, f: int) -> int:
+        """Recursive model counting — the oracle for :meth:`satcount`."""
         if f == self.FALSE:
             return 0
         if f == self.TRUE:
@@ -397,6 +592,134 @@ class BddManager:
 
     def to_truth_table(self, f: int) -> int:
         """Expand ``f`` into a single-output integer truth table."""
+        return self.to_truth_tables([f])[0]
+
+    def to_truth_tables(self, roots: Sequence[int]) -> List[int]:
+        """Expand many roots into integer truth tables in one shared sweep.
+
+        Instead of evaluating every assignment per root (``O(2^n * depth)``
+        big-int walks per root), the sweep computes the packed truth table
+        of every node reachable from *any* root exactly once, bottom-up:
+        ``table(node) = (~var_tt & table(low)) | (var_tt & table(high))``.
+        Children always test later variables than their parents, so walking
+        the reachable nodes by decreasing variable index resolves every
+        child before its parents.  Narrow instances combine big ints (one
+        C-level op per node); from :data:`_WORD_SWEEP_MIN_VARS` variables
+        the sweep runs level-batched over a NumPy ``uint64`` word matrix,
+        chunked into independent word-column blocks.  The per-assignment
+        oracle survives as :meth:`to_truth_table_reference`.
+        """
+        roots = list(roots)
+        seen: set = set()
+        reachable: List[int] = []
+        stack = [r for r in roots if r > 1]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            seen.add(node)
+            reachable.append(node)
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        num_vars = self.num_vars
+        full = (1 << (1 << num_vars)) - 1
+        if not reachable:
+            return [full if r == self.TRUE else 0 for r in roots]
+        # Decreasing variable index = children-first evaluation order.
+        reachable.sort(key=lambda node: -self._var[node])
+        if num_vars >= _WORD_SWEEP_MIN_VARS:
+            tables = self._sweep_words(reachable, num_vars)
+        else:
+            tables = self._sweep_ints(reachable, num_vars, full)
+        tables[self.FALSE] = 0
+        tables[self.TRUE] = full
+        return [tables[r] for r in roots]
+
+    def _sweep_ints(
+        self, reachable: List[int], num_vars: int, full: int
+    ) -> Dict[int, int]:
+        """Bottom-up big-int sweep (narrow tables: one C op per node)."""
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        proj = [_projection_table(v, num_vars) for v in range(num_vars)]
+        tables: Dict[int, int] = {self.FALSE: 0, self.TRUE: full}
+        for node in reachable:
+            var_tt = proj[var_arr[node]]
+            tables[node] = (tables[low_arr[node]] & ~var_tt) | (
+                tables[high_arr[node]] & var_tt
+            )
+        return tables
+
+    def _sweep_words(self, reachable: List[int], num_vars: int) -> Dict[int, int]:
+        """Level-batched NumPy word sweep (wide tables).
+
+        Row ``i`` of the value matrix holds node ``reachable[i]``'s table as
+        packed little-endian ``uint64`` words; rows 0/1 are the terminals.
+        Every variable level is evaluated with three whole-matrix ops over
+        the gathered child rows.  Word columns are independent under
+        bitwise ops, so wide tables are processed in column blocks bounded
+        by :data:`_SWEEP_BYTES_LIMIT`.
+        """
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        num_rows = len(reachable) + 2
+        row_of = {self.FALSE: 0, self.TRUE: 1}
+        for i, node in enumerate(reachable):
+            row_of[node] = i + 2
+        # Per-variable slices of the (variable-sorted) reachable list and
+        # their gathered child rows.
+        levels: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+        start = 0
+        while start < len(reachable):
+            var = var_arr[reachable[start]]
+            end = start
+            while end < len(reachable) and var_arr[reachable[end]] == var:
+                end += 1
+            batch = reachable[start:end]
+            rows = np.arange(start + 2, end + 2, dtype=np.int64)
+            low_rows = np.fromiter(
+                (row_of[low_arr[n]] for n in batch), np.int64, len(batch)
+            )
+            high_rows = np.fromiter(
+                (row_of[high_arr[n]] for n in batch), np.int64, len(batch)
+            )
+            levels.append((var, rows, low_rows, high_rows))
+            start = end
+        total_words = 1 << (num_vars - 6)
+        chunk_words = max(1, _SWEEP_BYTES_LIMIT // (num_rows * 8))
+        collected = [np.empty(0, dtype="<u8")] * num_rows
+        for word_start in range(0, total_words, chunk_words):
+            width = min(chunk_words, total_words - word_start)
+            value = np.zeros((num_rows, width), dtype="<u8")
+            value[1] = ~np.uint64(0)
+            # ``levels`` is ordered by decreasing variable, i.e. children
+            # first — exactly the evaluation order the sweep needs.
+            for var, rows, low_rows, high_rows in levels:
+                var_words = self._projection_words(var, word_start, width)
+                value[rows] = (value[low_rows] & ~var_words) | (
+                    value[high_rows] & var_words
+                )
+            if word_start == 0 and width == total_words:
+                collected = list(value)
+                break
+            for i in range(num_rows):
+                collected[i] = np.concatenate((collected[i], value[i]))
+        tables: Dict[int, int] = {}
+        for node, row in row_of.items():
+            tables[node] = int.from_bytes(collected[row].tobytes(), "little")
+        return tables
+
+    @staticmethod
+    def _projection_words(var: int, word_start: int, width: int) -> np.ndarray:
+        """Words ``[word_start, word_start + width)`` of variable ``var``'s table."""
+        if var < 6:
+            return np.full(width, np.uint64(_projection_table(var, 6)), dtype="<u8")
+        # Whole words alternate in runs of 2**(var - 6): a word is all-ones
+        # exactly when bit (var - 6) of its word index is set.
+        indices = np.arange(word_start, word_start + width, dtype=np.uint64)
+        ones = (indices >> np.uint64(var - 6)) & np.uint64(1)
+        return (~np.uint64(0)) * ones
+
+    def to_truth_table_reference(self, f: int) -> int:
+        """Per-assignment expansion — the oracle for the shared sweep."""
         result = 0
         for x in range(1 << self.num_vars):
             if self.evaluate(f, x):

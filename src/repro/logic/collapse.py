@@ -7,7 +7,7 @@ verification of small designs.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.logic.aig import Aig, lit_is_compl, lit_node
 from repro.logic.bdd import BddManager
@@ -28,6 +28,13 @@ def collapse_to_bdd(aig: Aig) -> Tuple[BddManager, List[int]]:
     Returns the manager and the list of root handles (one per PO, in PO
     order).  The BDD variable order follows the primary input order of the
     AIG.
+
+    The AIG is processed level by level (the manager's apply walks are
+    iterative, so deep cones cost no Python recursion), and the BDD handle
+    of an internal node is dropped as soon as its last fanout has been
+    collapsed: only the active frontier of the sweep holds references,
+    which keeps the ``values`` map proportional to the cut between levels
+    rather than to the whole network.
     """
     manager = BddManager(aig.num_pis(), aig.pi_names())
     values = {0: manager.false()}
@@ -38,18 +45,45 @@ def collapse_to_bdd(aig: Aig) -> Tuple[BddManager, List[int]]:
         node = values[lit_node(lit)]
         return manager.apply_not(node) if lit_is_compl(lit) else node
 
+    # Remaining-fanout counts of every node (POs count as consumers) drive
+    # the frontier pruning; PIs are kept alive for the whole sweep.
+    remaining: Dict[int, int] = {}
     for node in aig.nodes():
         if aig.is_and(node):
+            for fanin in aig.fanins(node):
+                remaining[lit_node(fanin)] = remaining.get(lit_node(fanin), 0) + 1
+    for po in aig.pos():
+        remaining[lit_node(po)] = remaining.get(lit_node(po), 0) + 1
+    keep = {0} | {lit_node(pi) for pi in aig.pis()}
+
+    levels = aig.levels()
+    by_level: Dict[int, List[int]] = {}
+    for node in aig.nodes():
+        if aig.is_and(node):
+            by_level.setdefault(levels[node], []).append(node)
+
+    for level in sorted(by_level):
+        for node in by_level[level]:
             f0, f1 = aig.fanins(node)
             values[node] = manager.apply_and(lit_bdd(f0), lit_bdd(f1))
+            for fanin in (f0, f1):
+                fanin_node = lit_node(fanin)
+                remaining[fanin_node] -= 1
+                if remaining[fanin_node] == 0 and fanin_node not in keep:
+                    del values[fanin_node]
 
     roots = [lit_bdd(po) for po in aig.pos()]
     return manager, roots
 
 
 def bdd_to_truth_table(manager: BddManager, roots: List[int]) -> TruthTable:
-    """Expand a list of BDD roots into an explicit multi-output truth table."""
-    columns = [manager.to_truth_table(root) for root in roots]
+    """Expand a list of BDD roots into an explicit multi-output truth table.
+
+    All roots share one memoised bottom-up sweep
+    (:meth:`~repro.logic.bdd.BddManager.to_truth_tables`): a node reachable
+    from several outputs is expanded once, not once per output.
+    """
+    columns = manager.to_truth_tables(roots)
     return TruthTable.from_columns(columns, manager.num_vars)
 
 

@@ -48,6 +48,8 @@ __all__ = [
     "cut_truth_tables",
     "cut_truth_table_reference",
     "filter_dominated_cuts",
+    "clear_cut_enumeration_cache",
+    "cut_enumeration_cache_stats",
     "LutMapping",
     "lut_map",
 ]
@@ -92,6 +94,66 @@ def filter_dominated_cuts(cuts: Sequence[Cut]) -> List[Cut]:
     return kept
 
 
+# ---------------------------------------------------------------------------
+# Incremental cut enumeration
+#
+# Optimisation pipelines re-enumerate near-identical networks over and over:
+# every xmg_refactor invocation of an iterated pipeline sees the previous
+# iteration's network with, at most, a few rewritten windows.  A node's cut
+# set depends only on the cut sets of its fanins, so two densely-indexed
+# networks that agree on a structural prefix (same fanin literals, node for
+# node, in topological order) have identical cut sets over that prefix.  The
+# small cache below keeps the last few enumerations (keyed by the
+# (k, max_cuts, selection) parameters) and reuses the longest matching
+# prefix, recomputing only from the first structurally-changed node on —
+# i.e. invalidation is exactly "everything at and above the first level a
+# rewrite touched".
+# ---------------------------------------------------------------------------
+
+_ENUM_CACHE_SIZE = 4
+
+#: Cached enumerations, newest last.  Each entry is
+#: ``(params, signatures, cuts, best_area)`` where ``signatures[node]`` is
+#: the node's fanin-literal tuple (or the PI marker) and ``cuts``/
+#: ``best_area`` are the per-node results, list-indexed by node.
+_ENUM_CACHE: List[Tuple[Tuple, List, List, List]] = []
+
+_ENUM_STATS = {"hits": 0, "misses": 0, "nodes_reused": 0, "nodes_computed": 0}
+
+_PI_SIGNATURE = ("pi",)
+
+
+def clear_cut_enumeration_cache() -> None:
+    """Drop all cached cut enumerations and reset the statistics."""
+    _ENUM_CACHE.clear()
+    for key in _ENUM_STATS:
+        _ENUM_STATS[key] = 0
+
+
+def cut_enumeration_cache_stats() -> Dict[str, int]:
+    """Counters of the structural-prefix enumeration cache.
+
+    ``hits`` counts calls that reused a non-empty prefix, ``misses`` calls
+    that enumerated from scratch; ``nodes_reused``/``nodes_computed`` count
+    per-node work avoided and performed.
+    """
+    return dict(_ENUM_STATS)
+
+
+def _network_signatures(network: LogicNetwork) -> Optional[List]:
+    """Per-node structural signatures, or ``None`` if not densely indexed."""
+    node_list = list(network.nodes())
+    if node_list != list(range(len(node_list))):
+        return None
+    signatures: List = [None] * len(node_list)
+    for node in node_list:
+        if network.is_gate(node):
+            signatures[node] = tuple(network.fanins(node))
+        elif network.is_pi(node):
+            signatures[node] = _PI_SIGNATURE
+    return signatures
+
+
 def enumerate_cuts(
     network: LogicNetwork, k: int = 4, max_cuts: int = 8, selection: str = "depth"
 ) -> Dict[int, List[Cut]]:
@@ -114,6 +176,13 @@ def enumerate_cuts(
       through the cut instantiates (``1 +`` the best-cut areas of its
       leaves), so the best cut genuinely minimises LUT count and the LUT
       size ``k`` becomes an area knob.
+
+    Densely-indexed networks go through the structural-prefix cache (see
+    the module notes above): the longest prefix agreeing node-for-node with
+    a recently enumerated network reuses that enumeration's cut lists, and
+    only nodes from the first structural difference on are recomputed.  The
+    returned per-node cut lists may be shared with other enumerations and
+    must not be mutated.
     """
     if k < 2:
         raise ValueError("cut size must be at least 2")
@@ -124,14 +193,44 @@ def enumerate_cuts(
             f"unknown cut selection policy {selection!r}; "
             "expected 'depth' or 'area'"
         )
+    signatures = _network_signatures(network)
+    params = (k, max_cuts, selection)
+    prefix = 0
+    cached_cuts: Optional[List] = None
+    cached_area: Optional[List] = None
+    entry_index = -1
+    if signatures is not None:
+        for index, (entry_params, entry_sigs, entry_cuts, entry_area) in enumerate(
+            _ENUM_CACHE
+        ):
+            if entry_params != params:
+                continue
+            limit = min(len(entry_sigs), len(signatures))
+            common = 0
+            while common < limit and entry_sigs[common] == signatures[common]:
+                common += 1
+            if common > prefix:
+                prefix = common
+                cached_cuts, cached_area = entry_cuts, entry_area
+                entry_index = index
+        _ENUM_STATS["hits" if prefix else "misses"] += 1
+        _ENUM_STATS["nodes_reused"] += prefix
+
     cuts: Dict[int, List[Cut]] = {0: [Cut(0, ())]}
     levels = network.levels()
     # Area flow of the best cut of every processed node (PIs cost nothing).
     best_area: Dict[int, int] = {0: 0}
+    for node in range(1, prefix):
+        node_cuts = cached_cuts[node]
+        if node_cuts is not None:
+            cuts[node] = node_cuts
+            best_area[node] = cached_area[node]
 
     for node in network.nodes():
-        if node == 0:
+        if node < prefix or node == 0:
             continue
+        if signatures is not None:
+            _ENUM_STATS["nodes_computed"] += 1
         if network.is_pi(node):
             cuts[node] = [Cut(node, (node,))]
             best_area[node] = 0
@@ -179,6 +278,27 @@ def enumerate_cuts(
             if best.leaves != (node,)
             else 1
         )
+
+    if signatures is not None:
+        num = len(signatures)
+        if (
+            entry_index >= 0
+            and prefix == num
+            and len(_ENUM_CACHE[entry_index][1]) == num
+        ):
+            # Identical network re-enumerated: refresh recency only.
+            _ENUM_CACHE.append(_ENUM_CACHE.pop(entry_index))
+        else:
+            _ENUM_CACHE.append(
+                (
+                    params,
+                    signatures,
+                    [cuts.get(n) for n in range(num)],
+                    [best_area.get(n) for n in range(num)],
+                )
+            )
+            if len(_ENUM_CACHE) > _ENUM_CACHE_SIZE:
+                _ENUM_CACHE.pop(0)
     return cuts
 
 
@@ -693,7 +813,11 @@ class LutMapping:
 
 
 def lut_map(
-    network: LogicNetwork, k: int = 4, max_cuts: int = 8, selection: str = "depth"
+    network: LogicNetwork,
+    k: int = 4,
+    max_cuts: int = 8,
+    selection: str = "depth",
+    cleanup: bool = True,
 ) -> LutMapping:
     """Cover a logic network with k-input LUTs (greedy covering from the outputs).
 
@@ -708,8 +832,14 @@ def lut_map(
       cover instantiates the fewest LUTs the priority lists allow, which is
       what makes the LUT size ``k`` an actual area knob for the LUT-based
       pebbling flow and for the cut-based XMG refactoring pass.
+
+    ``cleanup=False`` skips the initial dead-node sweep; callers passing an
+    already-cleaned network (the XMG refactoring pass) avoid rebuilding it,
+    which also keeps node indices stable for the structural-prefix cut
+    cache.
     """
-    network = network.cleanup()
+    if cleanup:
+        network = network.cleanup()
     cuts = enumerate_cuts(network, k=k, max_cuts=max_cuts, selection=selection)
 
     best_cut: Dict[int, Cut] = {}

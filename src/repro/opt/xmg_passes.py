@@ -219,13 +219,21 @@ def xmg_refactor(xmg: Xmg, k: int = 4, max_cuts: int = 8) -> Xmg:
     majority-like functions become a single MAJ).  The candidate replaces
     the input only when it improves the lexicographic
     ``(MAJ, gates, depth)`` cost, so the pass never regresses.
+
+    The covering runs on the already-cleaned network (``cleanup=False``
+    below avoids a second rebuild) and its cut enumeration goes through the
+    structural-prefix cache of :mod:`repro.logic.cuts`, so iterated
+    pipelines re-cover only the part of the network the preceding passes
+    actually changed.
     """
     cleaned = xmg.cleanup()
     if cleaned.num_gates() == 0:
         return cleaned
     from repro.logic.xmg_mapping import synthesize_lut_into_xmg
 
-    mapping = lut_map(cleaned, k=k, max_cuts=max_cuts, selection="area")
+    mapping = lut_map(
+        cleaned, k=k, max_cuts=max_cuts, selection="area", cleanup=False
+    )
     covered = mapping.network
     new = Xmg(covered.name)
     node_lit: Dict[int, int] = {0: Xmg.CONST0}

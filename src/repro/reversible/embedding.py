@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.logic.truth_table import TruthTable
+from repro.reversible.tbs import MAX_TBS_LINES
 from repro.utils.bitops import clog2
 
 __all__ = [
@@ -104,11 +105,26 @@ def minimum_additional_lines(table: TruthTable) -> int:
     return clog2(collisions)
 
 
+def _check_embedding_lines(num_lines: int, kind: str) -> None:
+    if num_lines > MAX_TBS_LINES:
+        raise ValueError(
+            f"{kind} embedding needs {num_lines} lines, i.e. an explicit "
+            f"2^{num_lines}-entry permutation table; the explicit flow is "
+            f"capped at MAX_TBS_LINES={MAX_TBS_LINES} lines"
+        )
+
+
 def bennett_embedding(table: TruthTable) -> EmbeddedFunction:
-    """Theorem 1: inputs preserved, outputs XORed onto fresh zero lines."""
+    """Theorem 1: inputs preserved, outputs XORed onto fresh zero lines.
+
+    Raises :class:`ValueError` when ``n + m`` exceeds
+    :data:`repro.reversible.tbs.MAX_TBS_LINES` (the explicit permutation
+    table would not be allocatable).
+    """
     n = table.num_inputs
     m = table.num_outputs
     num_lines = n + m
+    _check_embedding_lines(num_lines, "bennett")
 
     states = np.arange(1 << num_lines, dtype=np.int64)
     input_part = states & ((1 << n) - 1)
@@ -142,6 +158,11 @@ def optimum_embedding(table: TruthTable, extra_lines: Optional[int] = None) -> E
 
     ``extra_lines`` may force a larger number of additional lines (useful
     for experiments); it must be at least the minimum.
+
+    Raises :class:`ValueError` when the embedding needs more lines than
+    :data:`repro.reversible.tbs.MAX_TBS_LINES` (the explicit ``2^n``
+    permutation table would not be allocatable — previously this surfaced
+    as an opaque ``MemoryError`` or a machine grinding into swap).
     """
     n = table.num_inputs
     m = table.num_outputs
@@ -153,6 +174,7 @@ def optimum_embedding(table: TruthTable, extra_lines: Optional[int] = None) -> E
             f"extra_lines={extra_lines} is below the minimum {minimum} required"
         )
     num_lines = max(n, m + extra_lines)
+    _check_embedding_lines(num_lines, "optimum")
     garbage_width = num_lines - m
     size = 1 << num_lines
 

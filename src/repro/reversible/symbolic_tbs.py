@@ -4,11 +4,17 @@ synthesis (the RevKit ``tbs -s`` analogue).
 The paper's functional flow collapses the optimised AIG into a BDD, derives
 an optimum embedding from it and runs the SAT-based symbolic
 transformation-based algorithm [7].  Neither RevKit nor a SAT solver is
-available here, so this module substitutes a vectorised permutation-based
+available here, so this module substitutes an explicit permutation-based
 implementation of the same algorithm (see DESIGN.md): the produced circuits
 have the same structure (line-optimal, large multi-controlled Toffoli
-gates); only the scalability differs, which is why the benchmark defaults
-stop at smaller bit-widths than Table II.
+gates).  The permutation kernel is bit-sliced
+(:func:`repro.reversible.tbs.synthesize_permutation_gates`) and the BDD is
+expanded by one shared bottom-up sweep, so the explicit representation is
+no longer the flow's bottleneck up to
+:data:`repro.reversible.tbs.MAX_TBS_LINES` lines; the benchmark default
+sweep stops below the paper's n = 16 because the T-count bookkeeping of the
+resulting multi-million-gate cascades — not the synthesis kernels — grows
+steeply with the bit-width.
 """
 
 from __future__ import annotations

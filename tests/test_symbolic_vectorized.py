@@ -1,0 +1,352 @@
+"""Property tests pinning the vectorised symbolic kernels to their oracles.
+
+The BDD manager's iterative walks and memoised truth-table sweep, the
+bit-sliced transformation-based synthesis kernel and the structural-prefix
+cut-enumeration cache are rewrites of reference implementations that stay
+in the tree as oracles (``*_reference``).  These tests cross-check the
+rewrites on *random* inputs — random functions through the BDD manager,
+random AIGs through the collapse pipeline, random permutations through TBS
+(gate for gate), random XMGs through the cut cache — plus the golden
+INTDIV(8) refactoring pipeline, the explicit-table allocation guards and
+the MCT-cost memoisation regression.
+"""
+
+import dis
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.reversible.tbs as tbs_module
+from repro.logic.aig import Aig
+from repro.logic.bdd import BddManager
+from repro.logic.collapse import bdd_to_truth_table, collapse_to_bdd
+from repro.logic.cuts import (
+    clear_cut_enumeration_cache,
+    cut_enumeration_cache_stats,
+    enumerate_cuts,
+)
+from repro.logic.truth_table import TruthTable, tt_mask
+from repro.logic.xmg import Xmg
+from repro.logic.xmg_mapping import aig_to_xmg
+from repro.opt.xmg_passes import xmg_refactor
+from repro.reversible.embedding import bennett_embedding, optimum_embedding
+from repro.reversible.tbs import (
+    MAX_TBS_LINES,
+    synthesize_permutation_gates,
+    synthesize_permutation_gates_reference,
+    transformation_based_synthesis,
+)
+from repro.verify.differential import check_equivalent
+
+
+# ---------------------------------------------------------------------------
+# random network generators (deterministic per hypothesis example)
+# ---------------------------------------------------------------------------
+
+def _random_aig(num_pis, gate_choices):
+    """An AIG whose gates pick random (possibly complemented) fanins."""
+    aig = Aig("random")
+    lits = [aig.add_pi() for _ in range(num_pis)]
+    for a_pick, b_pick, a_neg, b_neg in gate_choices:
+        a = lits[a_pick % len(lits)] ^ (1 if a_neg else 0)
+        b = lits[b_pick % len(lits)] ^ (1 if b_neg else 0)
+        lits.append(aig.create_and(a, b))
+    aig.add_po(lits[-1])
+    return aig
+
+
+def _random_xmg(num_pis, gate_choices):
+    """An XMG mixing MAJ and XOR gates over random complemented fanins."""
+    xmg = Xmg("random")
+    lits = [xmg.add_pi() for _ in range(num_pis)]
+    for use_maj, a_pick, b_pick, c_pick, a_neg, b_neg, c_neg in gate_choices:
+        a = lits[a_pick % len(lits)] ^ (1 if a_neg else 0)
+        b = lits[b_pick % len(lits)] ^ (1 if b_neg else 0)
+        c = lits[c_pick % len(lits)] ^ (1 if c_neg else 0)
+        lits.append(
+            xmg.create_maj(a, b, c) if use_maj else xmg.create_xor(a, b)
+        )
+    xmg.add_po(lits[-1])
+    return xmg
+
+
+_AIG_GATES = st.lists(
+    st.tuples(
+        st.integers(0, 63), st.integers(0, 63), st.booleans(), st.booleans()
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+_XMG_GATES = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(0, 63), st.integers(0, 63), st.integers(0, 63),
+        st.booleans(), st.booleans(), st.booleans(),
+    ),
+    min_size=2,
+    max_size=24,
+)
+
+
+# ---------------------------------------------------------------------------
+# BDD: iterative walks vs the recursive oracles
+# ---------------------------------------------------------------------------
+
+class TestBddIterativeVsRecursive:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        op=st.sampled_from(["and", "or", "xor"]),
+        num_vars=st.integers(1, 7),
+        data=st.data(),
+    )
+    def test_apply_matches_reference(self, op, num_vars, data):
+        fa = data.draw(st.integers(0, tt_mask(num_vars)))
+        fb = data.draw(st.integers(0, tt_mask(num_vars)))
+        # Two fresh managers so neither path sees the other's cache entries.
+        fast = BddManager(num_vars)
+        slow = BddManager(num_vars)
+        fast_node = fast._apply(
+            op, fast.from_truth_table(fa), fast.from_truth_table(fb)
+        )
+        slow_node = slow._apply_reference(
+            op, slow.from_truth_table(fa), slow.from_truth_table(fb)
+        )
+        assert fast.to_truth_table_reference(fast_node) == \
+            slow.to_truth_table_reference(slow_node)
+
+    @settings(max_examples=60, deadline=None)
+    @given(num_vars=st.integers(1, 7), data=st.data())
+    def test_not_restrict_satcount_match_references(self, num_vars, data):
+        func = data.draw(st.integers(0, tt_mask(num_vars)))
+        manager = BddManager(num_vars)
+        node = manager.from_truth_table(func)
+        assert manager.apply_not(node) == manager.apply_not_reference(node)
+        assert manager.satcount(node) == manager.satcount_reference(node)
+        for var in range(num_vars):
+            for value in (False, True):
+                assert manager.restrict(node, var, value) == \
+                    manager.restrict_reference(node, var, value)
+
+    @settings(max_examples=60, deadline=None)
+    @given(num_vars=st.integers(0, 8), data=st.data())
+    def test_truth_table_sweep_matches_reference(self, num_vars, data):
+        funcs = data.draw(
+            st.lists(st.integers(0, tt_mask(num_vars)), min_size=1, max_size=5)
+        )
+        manager = BddManager(num_vars)
+        roots = [manager.from_truth_table(f) for f in funcs]
+        # The shared sweep must agree with the per-root recursive oracle and
+        # round-trip the constructing functions.
+        assert manager.to_truth_tables(roots) == [
+            manager.to_truth_table_reference(r) for r in roots
+        ] == funcs
+        for root, func in zip(roots, funcs):
+            assert manager.to_truth_table(root) == func
+
+    @settings(max_examples=20, deadline=None)
+    @given(num_vars=st.integers(6, 9), data=st.data())
+    def test_word_sweep_matches_int_sweep(self, num_vars, data):
+        # Force the packed-word sweep on widths the int sweep would normally
+        # handle (the default threshold is 10 variables; the word layout
+        # itself starts at 6), so both sweeps see the same inputs.
+        import repro.logic.bdd as bdd_module
+
+        funcs = data.draw(
+            st.lists(st.integers(0, tt_mask(num_vars)), min_size=1, max_size=4)
+        )
+        manager = BddManager(num_vars)
+        roots = [manager.from_truth_table(f) for f in funcs]
+        expected = manager.to_truth_tables(roots)
+        original = bdd_module._WORD_SWEEP_MIN_VARS
+        bdd_module._WORD_SWEEP_MIN_VARS = 0
+        try:
+            assert manager.to_truth_tables(roots) == expected == funcs
+        finally:
+            bdd_module._WORD_SWEEP_MIN_VARS = original
+
+    @settings(max_examples=25, deadline=None)
+    @given(num_pis=st.integers(2, 7), gates=_AIG_GATES)
+    def test_collapse_pipeline_matches_direct_expansion(self, num_pis, gates):
+        aig = _random_aig(num_pis, gates)
+        manager, roots = collapse_to_bdd(aig)
+        assert bdd_to_truth_table(manager, roots).words.tolist() == \
+            aig.to_truth_table().words.tolist()
+
+
+# ---------------------------------------------------------------------------
+# TBS: bit-sliced kernel vs the scanning oracle, gate for gate
+# ---------------------------------------------------------------------------
+
+class TestTbsBitslicedVsReference:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        num_lines=st.integers(1, 5),
+        bidirectional=st.booleans(),
+        data=st.data(),
+    )
+    def test_random_permutations_gate_for_gate(
+        self, num_lines, bidirectional, data
+    ):
+        perm = data.draw(st.permutations(range(1 << num_lines)))
+        fast = synthesize_permutation_gates(perm, num_lines, bidirectional)
+        ref = synthesize_permutation_gates_reference(
+            perm, num_lines, bidirectional
+        )
+        assert fast == ref
+
+    def test_structured_permutations_gate_for_gate(self):
+        # Larger widths on structured permutations (adders, bit-reversal,
+        # rotations) where the reference is still affordable.
+        num_lines = 7
+        size = 1 << num_lines
+        cases = [
+            [(x + 13) % size for x in range(size)],
+            [int(f"{x:07b}"[::-1], 2) for x in range(size)],
+            list(range(size))[::-1],
+        ]
+        for perm in cases:
+            for bidirectional in (False, True):
+                assert synthesize_permutation_gates(
+                    perm, num_lines, bidirectional
+                ) == synthesize_permutation_gates_reference(
+                    perm, num_lines, bidirectional
+                )
+
+    def test_circuit_applies_the_permutation(self):
+        rng = np.random.default_rng(7)
+        for num_lines in (3, 4, 5):
+            perm = rng.permutation(1 << num_lines)
+            circuit = transformation_based_synthesis(perm, num_lines)
+            # Gate-level replay independent of the synthesis kernels.
+            values = list(range(1 << num_lines))
+            for gate in circuit.gates():
+                care, polarity = gate.control_masks()
+                values = [
+                    v ^ (1 << gate.target) if (v & care) == polarity else v
+                    for v in values
+                ]
+            assert values == list(perm)
+
+
+class TestTbsGuards:
+    def test_transformation_based_synthesis_rejects_huge_tables(self):
+        # range() is a Sequence, so nothing is allocated before the guard.
+        with pytest.raises(ValueError, match="MAX_TBS_LINES"):
+            transformation_based_synthesis(
+                range(1 << (MAX_TBS_LINES + 1)), MAX_TBS_LINES + 1
+            )
+        with pytest.raises(ValueError, match="MAX_TBS_LINES"):
+            synthesize_permutation_gates(
+                range(1 << (MAX_TBS_LINES + 1)), MAX_TBS_LINES + 1
+            )
+
+    def test_embeddings_reject_unallocatable_tables(self, monkeypatch):
+        import repro.reversible.embedding as embedding_module
+
+        monkeypatch.setattr(embedding_module, "MAX_TBS_LINES", 4)
+        table = TruthTable.from_columns([0b10110110, 0b01011100], 3)
+        # bennett needs n + m = 5 lines, optimum max(n, m + l) lines.
+        with pytest.raises(ValueError, match="MAX_TBS_LINES=4"):
+            bennett_embedding(table)
+        with pytest.raises(ValueError, match="MAX_TBS_LINES=4"):
+            optimum_embedding(table, extra_lines=3)
+
+    def test_embeddings_within_the_cap_still_work(self):
+        table = TruthTable.from_columns([0b0110, 0b1000], 2)
+        assert bennett_embedding(table).is_valid()
+        assert optimum_embedding(table).is_valid()
+
+
+class TestMctCostHoisting:
+    def test_cost_import_is_hoisted_out_of_the_loops(self):
+        # Regression: _gate_list_cost used to re-import mct_t_count on every
+        # call, i.e. once per candidate gate list of every permutation row.
+        # The import must now execute once, at module import time.
+        assert hasattr(tbs_module, "mct_t_count")
+        for fn in (tbs_module._gate_list_cost, tbs_module._mct_cost,
+                   tbs_module._gate_masks_transforming):
+            opnames = {inst.opname for inst in dis.get_instructions(fn)}
+            assert "IMPORT_NAME" not in opnames, f"{fn.__name__} re-imports"
+
+    def test_cost_memo_matches_direct_computation(self):
+        from repro.quantum.tcount import mct_t_count
+
+        tbs_module._MCT_COST_MEMO.clear()
+        for arity in (0, 1, 2, 3, 5, 7):
+            assert tbs_module._mct_cost(arity) == mct_t_count(arity)
+            # Second call is served from the memo and stays correct.
+            assert tbs_module._mct_cost(arity) == mct_t_count(arity)
+            assert arity in tbs_module._MCT_COST_MEMO
+
+
+# ---------------------------------------------------------------------------
+# cut-enumeration cache and the batch-cut refactoring path
+# ---------------------------------------------------------------------------
+
+class TestCutEnumerationCache:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_pis=st.integers(2, 5),
+        gates=_XMG_GATES,
+        split=st.integers(1, 23),
+    )
+    def test_warm_cache_matches_cold_enumeration(self, num_pis, gates, split):
+        # Enumerate a prefix network first (filling the cache), then the
+        # full network warm; the result must equal a cold enumeration.
+        split = min(split, len(gates) - 1)
+        prefix_xmg = _random_xmg(num_pis, gates[:split] + gates[-1:])
+        full_xmg = _random_xmg(num_pis, gates)
+        clear_cut_enumeration_cache()
+        cold = enumerate_cuts(full_xmg, k=4)
+        clear_cut_enumeration_cache()
+        enumerate_cuts(prefix_xmg, k=4)
+        warm = enumerate_cuts(full_xmg, k=4)
+        assert warm == cold
+
+    def test_repeat_enumeration_reuses_every_node(self):
+        xmg = _random_xmg(4, [(True, 0, 1, 2, False, True, False),
+                              (False, 3, 4, 0, True, False, False),
+                              (True, 4, 5, 1, False, False, True)])
+        clear_cut_enumeration_cache()
+        first = enumerate_cuts(xmg, k=4)
+        stats = cut_enumeration_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 0
+        second = enumerate_cuts(xmg, k=4)
+        stats = cut_enumeration_cache_stats()
+        assert stats["hits"] == 1
+        assert stats["nodes_reused"] >= len(list(xmg.nodes())) - 1
+        assert second == first
+
+    def test_different_parameters_do_not_share_entries(self):
+        xmg = _random_xmg(3, [(True, 0, 1, 2, False, False, False),
+                              (False, 2, 3, 0, True, False, False)])
+        clear_cut_enumeration_cache()
+        by_depth = enumerate_cuts(xmg, k=4, selection="depth")
+        by_area = enumerate_cuts(xmg, k=4, selection="area")
+        stats = cut_enumeration_cache_stats()
+        assert stats["misses"] == 2  # parameter mismatch never hits
+        clear_cut_enumeration_cache()
+        assert enumerate_cuts(xmg, k=4, selection="area") == by_area
+        clear_cut_enumeration_cache()
+        assert enumerate_cuts(xmg, k=4, selection="depth") == by_depth
+
+
+class TestRefactorGolden:
+    def test_intdiv8_refactor_is_equivalent_and_deterministic(self):
+        from repro.hdl import synthesize_verilog
+        from repro.hdl.designs import intdiv_verilog
+
+        xmg = aig_to_xmg(synthesize_verilog(intdiv_verilog(8)))
+        clear_cut_enumeration_cache()
+        cold = xmg_refactor(xmg)
+        warm = xmg_refactor(xmg)  # second run reuses the cached enumeration
+        for candidate in (cold, warm):
+            result = check_equivalent(xmg, candidate)
+            assert result.equivalent, result.message
+        # The cache must not change what the pass produces.
+        assert (cold.num_maj(), cold.num_xor(), cold.num_gates()) == \
+            (warm.num_maj(), warm.num_xor(), warm.num_gates())
+        assert cut_enumeration_cache_stats()["hits"] >= 1
