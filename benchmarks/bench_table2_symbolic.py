@@ -10,21 +10,22 @@ Checks (the paper's observations):
   the same magnitude,
 * the T-count explodes with n (large multiple-controlled Toffoli gates),
 * runtimes grow steeply, which is why the default sweep stops below the
-  paper's n = 16: with the bit-sliced TBS and shared BDD sweep the
-  synthesis kernels are no longer the limit, but the T-count bookkeeping
-  of the resulting multi-million-gate cascades still is (the paper needed
-  3.2 days for n = 16 on a server).
+  paper's n = 16 (the paper needed 3.2 days for n = 16 on a server): with
+  the bit-sliced TBS, the shared BDD sweep and the columnar gate store the
+  explicit synthesis kernel itself — not the cascade bookkeeping — is what
+  remains of the cost at each width.
 
-Default sweep: n = 4..8 (set ``REPRO_BENCH_LARGE=1`` for n = 9; the
-bit-sliced TBS kernel moved n = 8 — formerly behind that flag — into the
-default sweep).
+Default sweep: n = 4..9.  The columnar gate-cascade engine moved n = 9 —
+formerly behind ``REPRO_BENCH_LARGE=1`` — into the default sweep: costing
+and peephole passes over the near-million-gate n = 9 cascades are now a
+rounding error next to the synthesis itself.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from conftest import large_benchmarks_enabled, verification_enabled, write_result
+from conftest import verification_enabled, write_result
 from repro.core.flows import run_flow
 from repro.core.reports import side_by_side_table
 
@@ -40,10 +41,7 @@ PAPER_TABLE2 = {
 
 
 def _bitwidths():
-    widths = [4, 5, 6, 7, 8]
-    if large_benchmarks_enabled():
-        widths += [9]
-    return widths
+    return [4, 5, 6, 7, 8, 9]
 
 
 @pytest.fixture(scope="module")

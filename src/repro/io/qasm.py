@@ -30,7 +30,7 @@ def write_qasm(circuit: QuantumCircuit, register: str = "q") -> str:
         'include "qelib1.inc";',
         f"qreg {register}[{circuit.num_qubits}];",
     ]
-    for gate in circuit.gates():
+    for gate in circuit.iter_gates():
         name = _QASM_NAMES.get(gate.name)
         if name is None:  # pragma: no cover - all supported gates are mapped
             raise ValueError(f"gate {gate.name!r} has no QASM equivalent")

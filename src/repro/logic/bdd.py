@@ -189,6 +189,48 @@ class BddManager:
         """Conjunction of two functions."""
         return self._apply("and", f, g)
 
+    def apply_and_many(self, fs: Iterable[int]) -> int:
+        """Conjunction of any number of functions (balanced reduction).
+
+        A left fold over ``k`` conjuncts walks one fully-grown intermediate
+        BDD per step — ``k - 1`` cache-probe sweeps over ever-larger
+        operands.  Pairing the operands tournament-style keeps the
+        intermediates small and halves the chain depth per round, which is
+        what makes the collapse of deep AND cones affordable
+        (:func:`repro.logic.collapse.collapse_to_bdd` batches whole
+        supergate fanin sets through here).  BDDs are canonical and AND is
+        associative/commutative, so the result handle is identical to the
+        sequential fold of :meth:`apply_and_many_reference`.
+
+        The empty conjunction is TRUE; any FALSE operand short-circuits.
+        """
+        ops = []
+        for f in fs:
+            if f == self.FALSE:
+                return self.FALSE
+            if f != self.TRUE:
+                ops.append(f)
+        if not ops:
+            return self.TRUE
+        while len(ops) > 1:
+            paired = []
+            for i in range(0, len(ops) - 1, 2):
+                result = self._apply("and", ops[i], ops[i + 1])
+                if result == self.FALSE:
+                    return self.FALSE
+                paired.append(result)
+            if len(ops) % 2:
+                paired.append(ops[-1])
+            ops = paired
+        return ops[0]
+
+    def apply_and_many_reference(self, fs: Iterable[int]) -> int:
+        """Sequential-fold conjunction — the oracle for :meth:`apply_and_many`."""
+        result = self.TRUE
+        for f in fs:
+            result = self._apply("and", result, f)
+        return result
+
     def apply_or(self, f: int, g: int) -> int:
         """Disjunction of two functions."""
         return self._apply("or", f, g)

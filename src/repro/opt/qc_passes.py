@@ -88,7 +88,7 @@ def qc_cancel(circuit: QuantumCircuit) -> QuantumCircuit:
     involutions.
     """
     result: List[QuantumGate] = []
-    for gate in circuit.gates():
+    for gate in circuit.iter_gates():
         index = len(result) - 1
         cancelled = False
         while index >= 0:
@@ -115,7 +115,7 @@ def qc_merge(circuit: QuantumCircuit) -> QuantumCircuit:
     ``t;t`` becomes the T-free ``s``.
     """
     result: List[QuantumGate] = []
-    for gate in circuit.gates():
+    for gate in circuit.iter_gates():
         merged: Optional[QuantumGate] = None
         if gate.name in _PHASE_UNITS:
             index = len(result) - 1

@@ -32,6 +32,7 @@ from repro.reversible.circuit import ReversibleCircuit
 __all__ = [
     "TARGET_KINDS",
     "reversible_depth",
+    "reversible_depth_reference",
     "target_copy",
     "target_cost",
     "target_kind",
@@ -59,7 +60,42 @@ def reversible_depth(circuit: ReversibleCircuit) -> int:
     A gate starts as soon as every line it touches (controls and target)
     is free — the same as-soon-as-possible schedule the quantum resource
     estimator uses, at Toffoli granularity.
+
+    The sweep walks the packed mask columns of the gate store directly (one
+    bit-walk per gate instead of materialising control tuples), memoising
+    the result on the store; foreign circuit objects without a gate store
+    fall back to :func:`reversible_depth_reference`.
     """
+    gate_store = getattr(circuit, "gate_store", None)
+    if gate_store is None:
+        return reversible_depth_reference(circuit)
+    store = gate_store()
+    cached = store.stats.get("depth")
+    if cached is not None:
+        return cached
+    levels = [0] * circuit.num_lines()
+    targets, cares, _, _ = store.columns()
+    for care, target in zip(cares, targets):
+        lines = [target]
+        level = levels[target]
+        mask = care
+        while mask:
+            low = mask & -mask
+            line = low.bit_length() - 1
+            lines.append(line)
+            if levels[line] > level:
+                level = levels[line]
+            mask ^= low
+        level += 1
+        for line in lines:
+            levels[line] = level
+    depth = max(levels, default=0)
+    store.stats["depth"] = depth
+    return depth
+
+
+def reversible_depth_reference(circuit: ReversibleCircuit) -> int:
+    """Per-gate-object depth sweep — the oracle for :func:`reversible_depth`."""
     levels = [0] * circuit.num_lines()
     for gate in circuit.gates():
         level = max((levels[line] for line in gate.lines()), default=0) + 1

@@ -113,8 +113,12 @@ class QuantumCircuit:
     # -- statistics ------------------------------------------------------------
 
     def gates(self) -> List[QuantumGate]:
-        """The gate list in application order."""
+        """The gate list in application order (a fresh list)."""
         return list(self._gates)
+
+    def iter_gates(self) -> Iterable[QuantumGate]:
+        """Iterate the gate list without copying it."""
+        return iter(self._gates)
 
     def num_gates(self) -> int:
         """Total number of gates."""

@@ -179,7 +179,7 @@ def map_to_clifford_t(
     # a wide unsatisfiable gate must not inflate the mapped qubit count.
     gates = []
     max_controls = 0
-    for gate in circuit.gates():
+    for gate in circuit.iter_gates():
         if gate.is_unsatisfiable():
             # The identity: costs nothing in the closed forms either.
             continue

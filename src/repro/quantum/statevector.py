@@ -61,7 +61,7 @@ class Statevector:
         """Apply every gate of a circuit in order."""
         if circuit.num_qubits > self.num_qubits:
             raise ValueError("circuit has more qubits than the state")
-        for gate in circuit.gates():
+        for gate in circuit.iter_gates():
             self.apply(gate)
 
     def _apply_single(self, matrix: np.ndarray, qubit: int) -> None:

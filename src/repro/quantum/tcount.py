@@ -18,13 +18,34 @@ These closed forms agree gate-for-gate with the explicit Clifford+T
 expansion produced by :mod:`repro.quantum.mapping` for *both* models —
 ``map_to_clifford_t(model=...)`` asserts the agreement on every expanded
 gate, and the golden-cost tables pin the resulting resource vectors.
+
+:func:`circuit_t_count` and :func:`t_count_histogram` are vectorised over
+the packed columnar gate store of
+:class:`~repro.reversible.circuit.ReversibleCircuit`: the per-gate
+normalisation (unsatisfiable gates cost nothing, duplicate control entries
+are charged once) is done mask-natively — popcount of the care mask gives
+the charged control count, a polarity bit outside the care mask flags an
+unsatisfiable gate — and the per-arity sums collapse into one
+``np.bincount``.  The per-object loops stay as
+:func:`circuit_t_count_reference` / :func:`t_count_histogram_reference`,
+the oracles the property tests compare against (and the fallback for
+duck-typed circuits without a gate store).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
-__all__ = ["mct_t_count", "circuit_t_count", "available_models"]
+import numpy as np
+
+__all__ = [
+    "mct_t_count",
+    "circuit_t_count",
+    "circuit_t_count_reference",
+    "t_count_histogram",
+    "t_count_histogram_reference",
+    "available_models",
+]
 
 
 _MODELS = ("barenco", "rtof")
@@ -50,6 +71,19 @@ def mct_t_count(num_controls: int, model: str = "rtof") -> int:
     return 8 * (num_controls - 2) + 7
 
 
+def _model_cost_vector(max_controls: int, model: str) -> np.ndarray:
+    """``mct_t_count(k, model)`` for every ``k`` in ``0..max_controls``."""
+    ks = np.arange(max_controls + 1, dtype=np.int64)
+    if model == "barenco":
+        costs = 7 * (2 * ks - 3)
+    else:
+        costs = 8 * (ks - 2) + 7
+    costs[ks <= 1] = 0
+    if max_controls >= 2:
+        costs[2] = 7
+    return costs
+
+
 def _effective_num_controls(gate) -> Optional[int]:
     """Control count a gate is charged for, or ``None`` for a trivial gate.
 
@@ -68,15 +102,60 @@ def _effective_num_controls(gate) -> Optional[int]:
     return gate.num_controls()
 
 
+def _charged_control_counts(circuit) -> Optional[np.ndarray]:
+    """Per-arity gate counts over the packed store, or ``None`` if absent.
+
+    Entry ``k`` is the number of (satisfiable) gates charged for ``k``
+    controls: the popcount of the care mask — duplicate entries collapsed —
+    with unsatisfiable gates (polarity bits outside the care mask) dropped,
+    matching :func:`_effective_num_controls` mask-natively.
+    """
+    gate_store = getattr(circuit, "gate_store", None)
+    num_lines = getattr(circuit, "num_lines", None)
+    if gate_store is None or num_lines is None:
+        return None
+    packed = gate_store().packed(num_lines())
+    if packed.unsat.any():
+        charged = packed.effective[~packed.unsat]
+    else:
+        charged = packed.effective
+    return np.bincount(charged)
+
+
 def circuit_t_count(circuit, model: str = "rtof") -> int:
     """Total T-count of a reversible circuit (any object with ``gates()``).
 
-    ``circuit`` is duck-typed: it must provide ``gates()`` returning objects
-    with a ``num_controls()`` method (as
-    :class:`repro.reversible.circuit.ReversibleCircuit` does).  Statically
+    ``circuit`` is duck-typed: a :class:`~repro.reversible.circuit.
+    ReversibleCircuit` (or anything exposing its ``gate_store()`` /
+    ``num_lines()`` surface) is costed by one vectorised popcount +
+    ``np.bincount`` sweep over the packed mask columns, memoised on the
+    store until the cascade mutates; any other object falls back to
+    :func:`circuit_t_count_reference`, which only needs ``gates()``
+    returning objects with a ``num_controls()`` method.  Statically
     trivial gates (cf. :func:`repro.reversible.optimize.remove_trivial_gates`)
     are identities and cost nothing.
     """
+    gate_store = getattr(circuit, "gate_store", None)
+    if gate_store is None:
+        return circuit_t_count_reference(circuit, model)
+    store = gate_store()
+    if len(store) == 0:
+        return 0
+    if model not in _MODELS:
+        raise ValueError(f"unknown T-count model {model!r}")
+    key = ("t_count", model)
+    cached = store.stats.get(key)
+    if cached is not None:
+        return cached
+    counts = _charged_control_counts(circuit)
+    costs = _model_cost_vector(len(counts) - 1, model)
+    total = int(np.dot(counts, costs))
+    store.stats[key] = total
+    return total
+
+
+def circuit_t_count_reference(circuit, model: str = "rtof") -> int:
+    """Per-gate-object T-count loop — the oracle for :func:`circuit_t_count`."""
     total = 0
     for gate in circuit.gates():
         k = _effective_num_controls(gate)
@@ -86,7 +165,34 @@ def circuit_t_count(circuit, model: str = "rtof") -> int:
 
 
 def t_count_histogram(circuit, model: str = "rtof") -> Dict[int, int]:
-    """Map control count to the total T-count contributed by such gates."""
+    """Map charged control count to the total T-count of such gates.
+
+    Vectorised like :func:`circuit_t_count` (and memoised on the gate
+    store); arities that occur but cost nothing (NOT / CNOT) appear with
+    value 0, matching :func:`t_count_histogram_reference`.
+    """
+    gate_store = getattr(circuit, "gate_store", None)
+    if gate_store is None:
+        return t_count_histogram_reference(circuit, model)
+    store = gate_store()
+    if len(store) == 0:
+        return {}
+    if model not in _MODELS:
+        raise ValueError(f"unknown T-count model {model!r}")
+    key = ("t_hist", model)
+    cached = store.stats.get(key)
+    if cached is None:
+        counts = _charged_control_counts(circuit)
+        costs = _model_cost_vector(len(counts) - 1, model)
+        cached = {
+            int(k): int(counts[k] * costs[k]) for k in np.nonzero(counts)[0]
+        }
+        store.stats[key] = cached
+    return dict(cached)
+
+
+def t_count_histogram_reference(circuit, model: str = "rtof") -> Dict[int, int]:
+    """Per-gate-object histogram loop — the oracle for :func:`t_count_histogram`."""
     histogram: Dict[int, int] = {}
     for gate in circuit.gates():
         k = _effective_num_controls(gate)

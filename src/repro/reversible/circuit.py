@@ -17,13 +17,20 @@ as produced by the functional synthesis flow).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.reversible.gates import ToffoliGate
+from repro.reversible.gatestore import GateStore, bit_count
 
 __all__ = ["LineInfo", "LinePool", "ReversibleCircuit"]
+
+
+def _gate_is_canonical(gate: ToffoliGate) -> bool:
+    """True if the gate's control lines are strictly ascending (no dups)."""
+    controls = gate.controls
+    return all(a[0] < b[0] for a, b in zip(controls, controls[1:]))
 
 
 @dataclass(frozen=True)
@@ -50,7 +57,16 @@ class LineInfo:
 
 
 class ReversibleCircuit:
-    """A cascade of mixed-polarity multiple-controlled Toffoli gates."""
+    """A cascade of mixed-polarity multiple-controlled Toffoli gates.
+
+    Gates are held in a packed columnar :class:`~repro.reversible.gatestore.
+    GateStore` (target / care-mask / polarity-mask columns);
+    :class:`~repro.reversible.gates.ToffoliGate` objects are materialised
+    lazily, so the object API (:meth:`gates`, pickling, equality) is
+    preserved while the cost kernels and synthesis emitters operate on the
+    masks directly (:meth:`append_masks` / :meth:`extend_masks` /
+    :meth:`gate_store`).
+    """
 
     #: Target tag of the :mod:`repro.opt` pass manager (cf.
     #: :func:`repro.opt.targets.target_kind`).
@@ -59,7 +75,16 @@ class ReversibleCircuit:
     def __init__(self, name: str = "circuit"):
         self.name = name
         self._lines: List[LineInfo] = []
-        self._gates: List[ToffoliGate] = []
+        self._store = GateStore()
+
+    def __setstate__(self, state) -> None:
+        # Back-compat with pickles from the object-list representation.
+        gates = state.pop("_gates", None)
+        self.__dict__.update(state)
+        if "_store" not in state:
+            self._store = GateStore()
+            if gates:
+                self.extend(gates)
 
     # -- lines ----------------------------------------------------------------
 
@@ -164,14 +189,23 @@ class ReversibleCircuit:
 
     # -- gates ----------------------------------------------------------------
 
-    def append(self, gate: ToffoliGate) -> None:
-        """Append a gate to the cascade."""
-        if gate.max_line() >= len(self._lines):
+    def _gate_entry(self, gate: ToffoliGate) -> Tuple[int, int, int, bool]:
+        """Validated ``(care, polarity, raw_controls, canonical)`` of a gate."""
+        care, polarity = gate.control_masks()
+        max_line = care.bit_length() - 1
+        if gate.target > max_line:
+            max_line = gate.target
+        if max_line >= len(self._lines):
             raise ValueError(
-                f"gate {gate} uses line {gate.max_line()} but the circuit has "
+                f"gate {gate} uses line {max_line} but the circuit has "
                 f"only {len(self._lines)} lines"
             )
-        self._gates.append(gate)
+        return care, polarity, gate.num_controls(), _gate_is_canonical(gate)
+
+    def append(self, gate: ToffoliGate) -> None:
+        """Append a gate to the cascade."""
+        care, polarity, raw, canonical = self._gate_entry(gate)
+        self._store.append(gate.target, care, polarity, raw, gate, canonical)
 
     def extend(self, gates: Iterable[ToffoliGate]) -> None:
         """Append several gates."""
@@ -179,34 +213,120 @@ class ReversibleCircuit:
             self.append(gate)
 
     def prepend(self, gate: ToffoliGate) -> None:
-        """Insert a gate at the beginning of the cascade."""
-        if gate.max_line() >= len(self._lines):
+        """Insert a gate at the beginning of the cascade (amortised O(1))."""
+        care, polarity, raw, canonical = self._gate_entry(gate)
+        self._store.prepend(gate.target, care, polarity, raw, gate, canonical)
+
+    def append_masks(self, care: int, polarity: int, target: int) -> None:
+        """Append a gate mask-natively (no :class:`ToffoliGate` object).
+
+        ``care`` / ``polarity`` follow the
+        :meth:`~repro.reversible.gates.ToffoliGate.control_masks` encoding
+        restricted to satisfiable, duplicate-free gates: the gate triggers
+        on state ``s`` iff ``s & care == polarity``.  The object, when
+        later requested, materialises with controls in ascending line
+        order.
+        """
+        num_lines = len(self._lines)
+        if target < 0 or target >= num_lines or care >> num_lines:
             raise ValueError(
-                f"gate {gate} uses line {gate.max_line()} but the circuit has "
-                f"only {len(self._lines)} lines"
+                f"gate masks (care={care:#x}, target={target}) exceed the "
+                f"circuit's {num_lines} lines"
             )
-        self._gates.insert(0, gate)
+        if (care >> target) & 1:
+            raise ValueError("the target line may not also be a control line")
+        if polarity & ~care:
+            raise ValueError("polarity mask has bits outside the care mask")
+        self._store.append(target, care, polarity, bit_count(care), None)
+
+    def extend_masks(self, triples: Iterable[Tuple[int, int, int]]) -> None:
+        """Bulk mask-native append of ``(care, polarity, target)`` triples."""
+        num_lines = len(self._lines)
+        checked = []
+        for care, polarity, target in triples:
+            if (
+                target < 0
+                or target >= num_lines
+                or care >> num_lines
+                or (care >> target) & 1
+                or polarity & ~care
+            ):
+                raise ValueError(
+                    f"gate masks (care={care:#x}, polarity={polarity:#x}, "
+                    f"target={target}) are invalid for a circuit with "
+                    f"{num_lines} lines"
+                )
+            checked.append((care, polarity, target))
+        self._store.extend_masks(checked)
+
+    def append_controls(
+        self, controls: Sequence[Tuple[int, bool]], target: int
+    ) -> None:
+        """Append a gate from a control list, mask-natively when possible.
+
+        Controls in strictly ascending line order (the shape every
+        synthesis emitter produces) take the packed path and skip
+        :class:`ToffoliGate` construction; any other shape falls back to
+        the object path so the materialised cascade is identical to what
+        ``append(ToffoliGate(tuple(controls), target))`` would have built.
+        """
+        care = 0
+        polarity = 0
+        previous = -1
+        ascending = True
+        for line, positive in controls:
+            if line <= previous or line < 0:
+                ascending = False
+                break
+            previous = line
+            bit = 1 << line
+            care |= bit
+            if positive:
+                polarity |= bit
+        if ascending:
+            self.append_masks(care, polarity, target)
+        else:
+            self.append(ToffoliGate(tuple(controls), target))
+
+    def extend_controls(
+        self, gates: Iterable[Tuple[Sequence[Tuple[int, bool]], int]]
+    ) -> None:
+        """Append several ``(controls, target)`` gate descriptions."""
+        for controls, target in gates:
+            self.append_controls(controls, target)
 
     def gates(self) -> List[ToffoliGate]:
-        """The gate cascade in application order."""
-        return list(self._gates)
+        """The gate cascade in application order (a fresh list)."""
+        return list(self._store.iter_objects())
+
+    def iter_gates(self) -> Iterator[ToffoliGate]:
+        """Iterate the cascade lazily, without copying the gate list.
+
+        Mask-appended gates are materialised (and cached) on demand, so
+        consuming a prefix only pays for that prefix.  Mutating the
+        circuit while iterating is undefined.
+        """
+        return self._store.iter_objects()
+
+    def gate_store(self) -> GateStore:
+        """The packed columnar gate store (the mask-native kernel surface)."""
+        return self._store
 
     def num_gates(self) -> int:
         """Number of Toffoli gates in the cascade."""
-        return len(self._gates)
+        return len(self._store)
 
     def gate_histogram(self) -> Dict[int, int]:
-        """Histogram mapping control count to number of gates."""
+        """Histogram mapping (raw) control count to number of gates."""
         histogram: Dict[int, int] = {}
-        for gate in self._gates:
-            histogram[gate.num_controls()] = histogram.get(gate.num_controls(), 0) + 1
+        for count in self._store.columns()[3]:
+            histogram[count] = histogram.get(count, 0) + 1
         return histogram
 
     def max_controls(self) -> int:
         """Largest control count of any gate."""
-        if not self._gates:
-            return 0
-        return max(gate.num_controls() for gate in self._gates)
+        raw = self._store.columns()[3]
+        return max(raw) if raw else 0
 
     def t_count(self, model: str = "rtof") -> int:
         """T-count of the cascade under a named cost model.
@@ -218,19 +338,22 @@ class ReversibleCircuit:
 
         return circuit_t_count(self, model=model)
 
+    def _with_store(
+        self, store: GateStore, name: Optional[str] = None
+    ) -> "ReversibleCircuit":
+        """A circuit with this circuit's lines but a different gate store."""
+        result = ReversibleCircuit(name or self.name)
+        result._lines = list(self._lines)
+        result._store = store
+        return result
+
     def inverse(self) -> "ReversibleCircuit":
         """The inverse circuit (reversed cascade; Toffoli gates are involutions)."""
-        result = ReversibleCircuit(f"{self.name}_inv")
-        result._lines = list(self._lines)
-        result._gates = list(reversed(self._gates))
-        return result
+        return self._with_store(self._store.reversed_copy(), f"{self.name}_inv")
 
     def copy(self) -> "ReversibleCircuit":
         """An independent copy of the circuit."""
-        result = ReversibleCircuit(self.name)
-        result._lines = list(self._lines)
-        result._gates = list(self._gates)
-        return result
+        return self._with_store(self._store.copy())
 
     def with_gates(self, gates: Iterable[ToffoliGate]) -> "ReversibleCircuit":
         """A copy with the same lines/roles but a different gate cascade."""
@@ -243,8 +366,10 @@ class ReversibleCircuit:
 
     def apply_to_state(self, state: int) -> int:
         """Apply the cascade to a basis state (integer over all lines)."""
-        for gate in self._gates:
-            state = gate.apply(state)
+        targets, cares, polarities, _ = self._store.columns()
+        for care, polarity, target in zip(cares, polarities, targets):
+            if state & care == polarity:
+                state ^= 1 << target
         return state
 
     def initial_state(self, input_word: int) -> int:
@@ -286,10 +411,10 @@ class ReversibleCircuit:
         """
         size = 1 << len(self._lines)
         states = np.arange(size, dtype=np.int64)
-        for gate in self._gates:
-            care, polarity = gate.control_masks()
+        targets, cares, polarities, _ = self._store.columns()
+        for care, polarity, target in zip(cares, polarities, targets):
             mask = (states & care) == polarity
-            states = np.where(mask, states ^ (1 << gate.target), states)
+            states[mask] ^= 1 << target
         return states
 
     def __repr__(self) -> str:

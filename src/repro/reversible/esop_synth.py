@@ -33,7 +33,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.logic.esop import EsopCover
 from repro.reversible.circuit import ReversibleCircuit
-from repro.reversible.gates import ToffoliGate
 
 __all__ = ["esop_synthesis"]
 
@@ -98,11 +97,10 @@ def _atom_control(atom: _Atom, input_line: Dict[int, int]) -> Tuple[int, bool]:
     return index, polarity  # factor atoms store the line directly
 
 
-def _factor_gate(
-    pair: Tuple[_Atom, _Atom], line: int, input_line: Dict[int, int]
-) -> ToffoliGate:
-    controls = tuple(_atom_control(atom, input_line) for atom in pair)
-    return ToffoliGate(controls, line)
+def _factor_controls(
+    pair: Tuple[_Atom, _Atom], input_line: Dict[int, int]
+) -> Tuple[Tuple[int, bool], ...]:
+    return tuple(_atom_control(atom, input_line) for atom in pair)
 
 
 def esop_synthesis(
@@ -152,25 +150,30 @@ def esop_synthesis(
     )
     scratch = circuit.add_constant_line(0, name="scratch") if needs_scratch else None
 
+    # Gate sites below go through append_controls: ascending control lists
+    # (cube literals are emitted in ascending variable order) take the
+    # mask-native path into the columnar store, anything else falls back to
+    # an equivalent gate object transparently.
+
     # Compute the factors (they only depend on inputs / earlier factors).
     for line, pair in factors:
-        circuit.append(_factor_gate(pair, line, input_line))
+        circuit.append_controls(_factor_controls(pair, input_line), line)
 
     # Realise every product term.
     for term in terms:
         controls = tuple(_atom_control(atom, input_line) for atom in term.atoms)
         targets = [output_line[j] for j in range(cover.num_outputs) if (term.outputs >> j) & 1]
         if len(targets) >= share_threshold and scratch is not None:
-            circuit.append(ToffoliGate(controls, scratch))
+            circuit.append_controls(controls, scratch)
             for target in targets:
-                circuit.append(ToffoliGate.cnot(scratch, target))
-            circuit.append(ToffoliGate(controls, scratch))
+                circuit.append_controls(((scratch, True),), target)
+            circuit.append_controls(controls, scratch)
         else:
             for target in targets:
-                circuit.append(ToffoliGate(controls, target))
+                circuit.append_controls(controls, target)
 
     # Uncompute the factor ancillas (reverse order) so they return to zero.
     for line, pair in reversed(factors):
-        circuit.append(_factor_gate(pair, line, input_line))
+        circuit.append_controls(_factor_controls(pair, input_line), line)
 
     return circuit

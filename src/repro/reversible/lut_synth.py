@@ -33,13 +33,12 @@ always correct.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.logic.aig import lit_is_compl, lit_node
 from repro.logic.cuts import LutMapping, lut_map
 from repro.logic.esop import psdkro_cubes
 from repro.reversible.circuit import LinePool, ReversibleCircuit
-from repro.reversible.gates import ToffoliGate
 from repro.reversible.pebbling import (
     COMPUTE,
     COPY,
@@ -54,25 +53,30 @@ __all__ = ["LUT_SYNTHESIZERS", "lut_synthesis", "synthesize_schedule"]
 LUT_SYNTHESIZERS = ("esop", "exact", "tbs")
 
 
-def _cubes_to_gates(cubes, leaf_lines: List[int], target: int) -> List[ToffoliGate]:
+#: A gate description as accepted by ``ReversibleCircuit.append_controls``:
+#: an ordered ``(line, positive)`` control list plus the target line.
+_GateDesc = Tuple[Tuple[Tuple[int, bool], ...], int]
+
+
+def _cubes_to_controls(cubes, leaf_lines: List[int], target: int) -> List[_GateDesc]:
     """One mixed-polarity Toffoli per cube, all targeting the ancilla."""
-    gates = []
+    gates: List[_GateDesc] = []
     for cube in cubes:
         controls = tuple(
             (leaf_lines[var], positive) for var, positive in cube.literals()
         )
-        gates.append(ToffoliGate(controls, target))
+        gates.append((controls, target))
     return gates
 
 
-def _esop_block(truth: int, leaf_lines: List[int], target: int) -> List[ToffoliGate]:
+def _esop_block(truth: int, leaf_lines: List[int], target: int) -> List[_GateDesc]:
     """One Toffoli per PSDKRO cube, all targeting the ancilla."""
-    return _cubes_to_gates(
+    return _cubes_to_controls(
         psdkro_cubes(truth, len(leaf_lines)), leaf_lines, target
     )
 
 
-def _exact_block(truth: int, leaf_lines: List[int], target: int) -> List[ToffoliGate]:
+def _exact_block(truth: int, leaf_lines: List[int], target: int) -> List[_GateDesc]:
     """The SAT-exact minimum-cube ESOP of the LUT (memoized by truth table).
 
     Never larger than the PSDKRO block: :func:`exact_esop_cubes` falls
@@ -81,14 +85,14 @@ def _exact_block(truth: int, leaf_lines: List[int], target: int) -> List[Toffoli
     """
     from repro.logic.exact_esop import exact_esop_cubes
 
-    return _cubes_to_gates(
+    return _cubes_to_controls(
         exact_esop_cubes(truth, len(leaf_lines)), leaf_lines, target
     )
 
 
-def _tbs_block(truth: int, leaf_lines: List[int], target: int) -> List[ToffoliGate]:
+def _tbs_block(truth: int, leaf_lines: List[int], target: int) -> List[_GateDesc]:
     """TBS of the ``(x, a) -> (x, a xor f(x))`` permutation, remapped."""
-    from repro.reversible.tbs import synthesize_permutation_gates
+    from repro.reversible.tbs import synthesize_permutation_masks
 
     num_vars = len(leaf_lines)
     size = 1 << (num_vars + 1)
@@ -97,10 +101,18 @@ def _tbs_block(truth: int, leaf_lines: List[int], target: int) -> List[ToffoliGa
         x = state & ((1 << num_vars) - 1)
         a = state >> num_vars
         permutation[state] = x | ((a ^ ((truth >> x) & 1)) << num_vars)
-    gates = synthesize_permutation_gates(permutation, num_vars + 1)
-    mapping = {i: line for i, line in enumerate(leaf_lines)}
-    mapping[num_vars] = target
-    return [gate.remapped(mapping) for gate in gates]
+    masks = synthesize_permutation_masks(permutation, num_vars + 1)
+    line_of = list(leaf_lines) + [target]
+    gates: List[_GateDesc] = []
+    for controls_mask, local_target in masks:
+        controls: List[Tuple[int, bool]] = []
+        mask = controls_mask
+        while mask:
+            bit = mask & -mask
+            controls.append((line_of[bit.bit_length() - 1], True))
+            mask ^= bit
+        gates.append((tuple(controls), line_of[local_target]))
+    return gates
 
 
 _BLOCK_BUILDERS = {"esop": _esop_block, "exact": _exact_block, "tbs": _tbs_block}
@@ -143,7 +155,7 @@ def synthesize_schedule(
             leaves, truth = mapping.luts[step.node]
             target = pool.acquire()
             leaf_lines = [node_line[leaf] for leaf in leaves]
-            circuit.extend(build_block(truth, leaf_lines, target))
+            circuit.extend_controls(build_block(truth, leaf_lines, target))
             node_line[step.node] = target
         elif step.op == COPY:
             target = pool.acquire(name=aig.po_names()[step.output])
@@ -151,14 +163,16 @@ def synthesize_schedule(
             po = aig.pos()[step.output]
             driver = lit_node(po)
             if not aig.is_const(driver):
-                circuit.append(ToffoliGate.cnot(node_line[driver], target))
+                circuit.append_controls(((node_line[driver], True),), target)
             if lit_is_compl(po):
-                circuit.append(ToffoliGate.x(target))
+                circuit.append_controls((), target)
         else:  # UNCOMPUTE
             leaves, truth = mapping.luts[step.node]
             target = node_line.pop(step.node)
             leaf_lines = [node_line[leaf] for leaf in leaves]
-            circuit.extend(reversed(build_block(truth, leaf_lines, target)))
+            circuit.extend_controls(
+                reversed(build_block(truth, leaf_lines, target))
+            )
             pool.release(target)
     return circuit
 

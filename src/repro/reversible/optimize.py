@@ -17,6 +17,18 @@ This module provides the standard ones:
 * :func:`optimize_circuit` — the standard script: trivial-gate removal,
   NOT merging and cancellation, iterated to a fixed point.
 
+Each pass runs on the packed mask columns of the circuit's
+:class:`~repro.reversible.gatestore.GateStore` — equality, commutation and
+the NOT-absorption rewrite are all pure mask arithmetic there — and
+returns the *input circuit object* when it finds nothing to rewrite, so a
+pipeline that iterates the passes to a fixed point keeps the store's
+cached statistics alive across rounds.  The mask formulation is exact only
+while the store is canonical (strictly ascending, duplicate-free control
+lines on every gate); otherwise the pass delegates to its ``*_reference``
+twin — the original per-gate-object implementation, kept both as that
+fallback and as the oracle the property tests compare against.  Either
+way the output cascade is gate-for-gate identical to the reference.
+
 All passes preserve the circuit function exactly (asserted by the
 test-suite via permutation comparison on small circuits and random
 simulation on larger ones).  They are also registered with the
@@ -29,15 +41,19 @@ networks.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.reversible.circuit import ReversibleCircuit
 from repro.reversible.gates import ToffoliGate
+from repro.reversible.gatestore import GateStore
 
 __all__ = [
     "cancel_adjacent_gates",
+    "cancel_adjacent_gates_reference",
     "merge_not_gates",
+    "merge_not_gates_reference",
     "remove_trivial_gates",
+    "remove_trivial_gates_reference",
     "optimize_circuit",
 ]
 
@@ -61,7 +77,71 @@ def _gates_commute(first: ToffoliGate, second: ToffoliGate) -> bool:
 
 
 def cancel_adjacent_gates(circuit: ReversibleCircuit) -> ReversibleCircuit:
-    """Remove pairs of identical gates that can be brought next to each other."""
+    """Remove pairs of identical gates that can be brought next to each other.
+
+    Mask-native: on a canonical gate store two gates are equal iff their
+    ``(care, polarity, target)`` triples are, and the commutation test of
+    :func:`_gates_commute` is two AND-tests against each gate's *touched*
+    mask (``care | 1 << target``).  The backward scan of the reference is
+    replayed on the mask columns; when no pair cancels, the input circuit
+    is returned unchanged.
+    """
+    store = circuit.gate_store()
+    if not store.is_canonical():
+        return cancel_adjacent_gates_reference(circuit)
+    in_targets, in_care, in_polarity, in_raw = store.columns()
+
+    targets: List[int] = []
+    cares: List[int] = []
+    polarities: List[int] = []
+    raws: List[int] = []
+    touched: List[int] = []
+    cancelled_any = False
+    for gate_index in range(len(in_targets)):
+        target = in_targets[gate_index]
+        care = in_care[gate_index]
+        polarity = in_polarity[gate_index]
+        target_bit = 1 << target
+        gate_touched = care | target_bit
+        index = len(targets) - 1
+        cancelled = False
+        while index >= 0:
+            if (
+                targets[index] == target
+                and cares[index] == care
+                and polarities[index] == polarity
+            ):
+                del targets[index]
+                del cares[index]
+                del polarities[index]
+                del raws[index]
+                del touched[index]
+                cancelled = True
+                cancelled_any = True
+                break
+            if touched[index] & target_bit or gate_touched & (
+                1 << targets[index]
+            ):
+                break
+            index -= 1
+        if not cancelled:
+            targets.append(target)
+            cares.append(care)
+            polarities.append(polarity)
+            raws.append(in_raw[gate_index])
+            touched.append(gate_touched)
+
+    if not cancelled_any:
+        return circuit
+    return circuit._with_store(
+        GateStore.from_columns(targets, cares, polarities, raws)
+    )
+
+
+def cancel_adjacent_gates_reference(
+    circuit: ReversibleCircuit,
+) -> ReversibleCircuit:
+    """Per-gate-object cancellation — oracle for :func:`cancel_adjacent_gates`."""
     gates = circuit.gates()
     result: List[ToffoliGate] = []
     for gate in gates:
@@ -94,7 +174,54 @@ def merge_not_gates(circuit: ReversibleCircuit) -> ReversibleCircuit:
     a NOT pair around a single gate:  ``X(l) . G(l...) . X(l)`` becomes
     ``G(l')``.  This is the pattern produced by negative-control emulation
     and by the OR blocks of the hierarchical flow.
+
+    Mask-native: a NOT is a gate with an empty care mask, the pattern test
+    is three integer comparisons, and the absorption itself is one XOR into
+    the middle gate's polarity mask.  Rewrites only ever shorten the window
+    around position ``i``, so resuming the scan at ``max(0, i - 2)`` visits
+    exactly the matches the restart-from-zero reference loop finds, in the
+    same order.  When no pattern matches, the input circuit is returned
+    unchanged.
     """
+    store = circuit.gate_store()
+    if not store.is_canonical():
+        return merge_not_gates_reference(circuit)
+    in_targets, in_care, in_polarity, in_raw = store.columns()
+
+    targets = list(in_targets)
+    cares = list(in_care)
+    polarities = list(in_polarity)
+    raws = list(in_raw)
+    changed = False
+    i = 0
+    while i + 2 < len(targets):
+        line = targets[i]
+        if (
+            cares[i] == 0
+            and cares[i + 2] == 0
+            and targets[i + 2] == line
+            and targets[i + 1] != line
+            and (cares[i + 1] >> line) & 1
+        ):
+            polarities[i + 1] ^= 1 << line
+            del targets[i + 2], targets[i]
+            del cares[i + 2], cares[i]
+            del polarities[i + 2], polarities[i]
+            del raws[i + 2], raws[i]
+            changed = True
+            i = max(0, i - 2)
+        else:
+            i += 1
+
+    if not changed:
+        return circuit
+    return circuit._with_store(
+        GateStore.from_columns(targets, cares, polarities, raws)
+    )
+
+
+def merge_not_gates_reference(circuit: ReversibleCircuit) -> ReversibleCircuit:
+    """Per-gate-object NOT merging — oracle for :func:`merge_not_gates`."""
     gates = circuit.gates()
     result: List[ToffoliGate] = list(gates)
     changed = True
@@ -136,7 +263,21 @@ def remove_trivial_gates(circuit: ReversibleCircuit) -> ReversibleCircuit:
       gate is replaced by its :meth:`~ToffoliGate.normalized` form, which
       also restores the honest ``num_controls`` count the T-count models
       charge for.
+
+    Both shapes require a duplicated control line, which a canonical gate
+    store rules out by construction — in that case the input circuit is
+    returned unchanged without touching a single gate object.
     """
+    store = circuit.gate_store()
+    if store.is_canonical():
+        return circuit
+    return remove_trivial_gates_reference(circuit)
+
+
+def remove_trivial_gates_reference(
+    circuit: ReversibleCircuit,
+) -> ReversibleCircuit:
+    """Per-gate-object normalisation — oracle for :func:`remove_trivial_gates`."""
     result: List[ToffoliGate] = []
     for gate in circuit.gates():
         if gate.is_unsatisfiable():

@@ -39,6 +39,7 @@ from repro.reversible.gates import ToffoliGate
 __all__ = [
     "MAX_TBS_LINES",
     "transformation_based_synthesis",
+    "synthesize_permutation_masks",
     "synthesize_permutation_gates",
     "synthesize_permutation_gates_reference",
 ]
@@ -244,13 +245,18 @@ def _unpack_columns(columns: List[int], size: int) -> np.ndarray:
     return values
 
 
-def synthesize_permutation_gates(
+def synthesize_permutation_masks(
     permutation: Sequence[int], num_lines: int, bidirectional: bool = True
-) -> List[ToffoliGate]:
+) -> List[Tuple[int, int]]:
     """Synthesise a Toffoli cascade realising ``permutation`` over ``num_lines``.
 
-    Returns the gate list in application order (first gate applied first);
-    gate-for-gate equivalent to
+    Returns ``(controls_mask, target_line)`` pairs in application order
+    (first gate applied first) — every control is positive, so the pair is
+    the complete gate description and feeds straight into
+    :meth:`~repro.reversible.circuit.ReversibleCircuit.extend_masks`
+    without constructing a single :class:`ToffoliGate`.
+    :func:`synthesize_permutation_gates` materialises the same cascade as
+    gate objects, gate-for-gate equivalent to
     :func:`synthesize_permutation_gates_reference`.
 
     The kernel is bit-sliced.  With ``Gout``/``Gin`` the output/input gate
@@ -303,21 +309,8 @@ def synthesize_permutation_gates(
             value |= ((columns[line] >> x) & 1) << line
         return value
 
-    # The same reduced control masks recur across many rows (the greedy
-    # reduction favours the topmost lines), so the immutable ToffoliGate
-    # objects are memoised and safely shared.
-    gate_memo: Dict[Tuple[int, int], ToffoliGate] = {}
-
-    def gate_of(controls_mask: int, target: int) -> ToffoliGate:
-        gate = gate_memo.get((controls_mask, target))
-        if gate is None:
-            gate = gate_memo[(controls_mask, target)] = _gate_from_mask(
-                controls_mask, target, num_lines
-            )
-        return gate
-
-    out_gates: List[ToffoliGate] = []
-    in_gates: List[ToffoliGate] = []
+    out_gates: List[Tuple[int, int]] = []
+    in_gates: List[Tuple[int, int]] = []
 
     for row in range(size):
         image = point_query(col_x, p0_inv[preimage_query(col_y, ncol_y, row)])
@@ -343,7 +336,7 @@ def synthesize_permutation_gates(
                     controls ^= bit
                 col_x[target] ^= match
                 ncol_x[target] ^= match
-                out_gates.append(gate_of(controls_mask, target))
+                out_gates.append((controls_mask, target))
         else:
             # Register the domain transformation row -> preimage; gates must
             # be registered in reverse construction order so that the
@@ -357,7 +350,7 @@ def synthesize_permutation_gates(
                     controls ^= bit
                 col_y[target] ^= match
                 ncol_y[target] ^= match
-                in_gates.append(gate_of(controls_mask, target))
+                in_gates.append((controls_mask, target))
 
     # perm = X o P0^-1 o Y^-1 must now be the identity.
     x_arr = _unpack_columns(col_x, size)
@@ -369,6 +362,30 @@ def synthesize_permutation_gates(
     ), "synthesis did not reach the identity"
     # id = OUT o f o IN  =>  f = IN_order + reversed(OUT_order) in time order.
     return list(in_gates) + list(reversed(out_gates))
+
+
+def synthesize_permutation_gates(
+    permutation: Sequence[int], num_lines: int, bidirectional: bool = True
+) -> List[ToffoliGate]:
+    """Gate-object view of :func:`synthesize_permutation_masks`.
+
+    The same reduced control masks recur across many rows (the greedy
+    reduction favours the topmost lines), so the immutable
+    :class:`ToffoliGate` objects are memoised and shared across the
+    cascade; the list is gate-for-gate equivalent to
+    :func:`synthesize_permutation_gates_reference`.
+    """
+    masks = synthesize_permutation_masks(permutation, num_lines, bidirectional)
+    gate_memo: Dict[Tuple[int, int], ToffoliGate] = {}
+    gates: List[ToffoliGate] = []
+    for controls_mask, target in masks:
+        gate = gate_memo.get((controls_mask, target))
+        if gate is None:
+            gate = gate_memo[(controls_mask, target)] = _gate_from_mask(
+                controls_mask, target, num_lines
+            )
+        gates.append(gate)
+    return gates
 
 
 def synthesize_permutation_gates_reference(
@@ -440,9 +457,11 @@ def transformation_based_synthesis(
     (the explicit ``2^n`` state table would not be allocatable).
     """
     _check_num_lines(num_lines)
-    gates = synthesize_permutation_gates(permutation, num_lines, bidirectional)
+    masks = synthesize_permutation_masks(permutation, num_lines, bidirectional)
     circuit = ReversibleCircuit(name)
     for line in range(num_lines):
         circuit.add_line(f"x{line}")
-    circuit.extend(gates)
+    # All controls are positive, so care == polarity == the controls mask and
+    # the cascade lands in the columnar store without creating gate objects.
+    circuit.extend_masks((mask, mask, target) for mask, target in masks)
     return circuit

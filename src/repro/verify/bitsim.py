@@ -294,17 +294,28 @@ def simulate_reversible_states(
             state[line] = batch.inputs[info.input_index]
         elif info.constant:
             state[line] = _ALL_ONES
-    for gate in circuit.gates():
-        if gate.controls:
-            (line0, positive0) = gate.controls[0]
-            trigger = state[line0] if positive0 else state[line0] ^ _ALL_ONES
-            for line, positive in gate.controls[1:]:
-                trigger = trigger & (
-                    state[line] if positive else state[line] ^ _ALL_ONES
-                )
-            state[gate.target] ^= trigger
-        else:
-            state[gate.target] ^= _ALL_ONES
+    targets, cares, polarities, _ = circuit.gate_store().columns()
+    for care, polarity, target in zip(cares, polarities, targets):
+        if care == 0:
+            state[target] ^= _ALL_ONES
+            continue
+        if polarity & ~care:
+            # Unsatisfiable gate: the AND of both polarities of a line is 0,
+            # so the reference loop XORs nothing — skip it outright.
+            continue
+        mask = care
+        low = mask & -mask
+        line = low.bit_length() - 1
+        mask ^= low
+        trigger = state[line] if (polarity >> line) & 1 else state[line] ^ _ALL_ONES
+        while mask:
+            low = mask & -mask
+            line = low.bit_length() - 1
+            mask ^= low
+            trigger = trigger & (
+                state[line] if (polarity >> line) & 1 else state[line] ^ _ALL_ONES
+            )
+        state[target] ^= trigger
     return state & batch.tail_mask()
 
 
